@@ -1,0 +1,84 @@
+"""Fig. 10's robustness claim across match-rate distributions.
+
+"These results hold for other ``M_ik`` distributions as well (not
+shown for brevity)" — §3.4.  This bench shows them: the rounding
+pipeline's fraction-of-OptLP is evaluated under the paper's uniform
+draw plus exponential (heavy-tailed) and hotspot (concentrated attack)
+distributions, and under heterogeneous rule resource requirements.
+"""
+
+import random
+
+import pytest
+
+from repro.core.nips_milp import (
+    DEFAULT_CPU_CAP_PACKETS,
+    DEFAULT_MEM_CAP_FLOWS,
+    build_nips_problem,
+    solve_relaxation,
+)
+from repro.core.rounding import RoundingVariant, best_of_roundings
+from repro.nips.rules import MatchRateMatrix, NIPSRule, unit_rules
+from repro.topology.datasets import internet2
+
+_NUM_RULES = 60
+_CAM_FRACTION = 0.10
+
+
+def _topology():
+    return internet2().set_uniform_capacities(
+        cpu=DEFAULT_CPU_CAP_PACKETS,
+        mem=DEFAULT_MEM_CAP_FLOWS,
+        cam=_CAM_FRACTION * _NUM_RULES,
+    )
+
+
+def _pairs(topology):
+    return [
+        (a, b) for a in topology.node_names for b in topology.node_names if a != b
+    ]
+
+
+def _evaluate(problem):
+    relaxed = solve_relaxation(problem)
+    best = best_of_roundings(
+        problem, RoundingVariant.GREEDY_LP, iterations=3, seed=1, relaxed=relaxed
+    )
+    return best.fraction_of_lp
+
+
+@pytest.mark.figure("fig10-distributions")
+@pytest.mark.parametrize("distribution", ["uniform", "exponential", "hotspot"])
+def test_fig10_other_match_distributions(once, distribution):
+    topology = _topology()
+    rules = unit_rules(_NUM_RULES)
+    rng = random.Random(11)
+    maker = getattr(MatchRateMatrix, distribution)
+    match = maker(rules, _pairs(topology), rng)
+    problem = build_nips_problem(topology, rules, match)
+    fraction = once(_evaluate, problem)
+    print(f"\nFig. 10 robustness — {distribution}: {fraction:.3f} of OptLP")
+    assert fraction >= 0.90
+
+
+@pytest.mark.figure("fig10-heterogeneous")
+def test_fig10_heterogeneous_rule_requirements(once):
+    """Beyond the paper's unit requirements: rules with varying TCAM,
+    CPU, and memory footprints round just as well."""
+    topology = _topology()
+    rng = random.Random(13)
+    rules = [
+        NIPSRule(
+            index=i,
+            name=f"rule-{i:03d}",
+            cpu_req=rng.choice([0.5, 1.0, 2.0]),
+            mem_req=rng.choice([0.5, 1.0, 2.0]),
+            cam_req=rng.choice([1.0, 2.0]),
+        )
+        for i in range(_NUM_RULES)
+    ]
+    match = MatchRateMatrix.uniform(rules, _pairs(topology), rng)
+    problem = build_nips_problem(topology, rules, match)
+    fraction = once(_evaluate, problem)
+    print(f"\nFig. 10 robustness — heterogeneous requirements: {fraction:.3f} of OptLP")
+    assert fraction >= 0.85

@@ -1,0 +1,100 @@
+"""Fig. 10 — NIPS rounding algorithms vs. the LP upper bound.
+
+Paper result: across Abilene, Geant, and ASes 1221/1239/3257, with
+rule-capacity constraints 0.05–0.25, rounding + LP re-solve achieves
+more than ~70% of OptLP, and rounding + greedy + LP re-solve achieves
+more than 92%.
+
+At reduced ``REPRO_SCALE`` the rule count and scenario count are
+lowered for the large AS topologies (their relaxations dominate the
+runtime); the fraction-of-OptLP metric is insensitive to both, so the
+figure's shape is preserved.  Set ``REPRO_SCALE=1`` for paper volumes.
+"""
+
+import pytest
+
+from repro.core.rounding import RoundingVariant
+from repro.experiments import evaluate_point, format_fig10_table, repro_scale, scaled
+from repro.experiments.nips_rounding import (
+    PAPER_CAPACITY_FRACTIONS,
+    PAPER_ITERATIONS,
+    PAPER_NUM_RULES,
+    PAPER_SCENARIOS,
+    PAPER_TOPOLOGIES,
+)
+
+#: Rule counts per topology at reduced scale: the LP relaxation grows
+#: with #rules x #paths, and the big ASes have 1,600-2,600 paths.
+_SCALED_RULES = {
+    "Abilene": 100,
+    "Geant": 40,
+    "AS1221": 20,
+    "AS1239": 20,  # 0.05 x rules must leave at least one TCAM slot
+    "AS3257": 20,
+}
+_SCALED_SCENARIOS = {
+    "Abilene": 2,
+    "Geant": 2,
+    "AS1221": 1,
+    "AS1239": 1,
+    "AS3257": 1,
+}
+
+
+def _settings_for(label: str):
+    if repro_scale() >= 1.0:
+        return PAPER_NUM_RULES, scaled(PAPER_SCENARIOS), scaled(PAPER_ITERATIONS)
+    return (
+        _SCALED_RULES[label],
+        _SCALED_SCENARIOS[label],
+        max(2, scaled(PAPER_ITERATIONS)),
+    )
+
+
+@pytest.mark.figure("fig10")
+@pytest.mark.parametrize("label", PAPER_TOPOLOGIES)
+def test_fig10_rounding_performance(once, label):
+    num_rules, scenarios, iterations = _settings_for(label)
+
+    def run():
+        results = []
+        for fraction in PAPER_CAPACITY_FRACTIONS:
+            results.extend(
+                evaluate_point(
+                    label,
+                    fraction,
+                    variants=(RoundingVariant.LP, RoundingVariant.GREEDY_LP),
+                    num_scenarios=scenarios,
+                    iterations=iterations,
+                    num_rules=num_rules,
+                )
+            )
+        return results
+
+    results = once(run)
+    print(f"\nFig. 10 — {label} ({num_rules} rules, {scenarios} scenario(s))")
+    print(format_fig10_table(results))
+
+    for stat in results:
+        if stat.variant is RoundingVariant.GREEDY_LP:
+            # Paper: >= 92% of OptLP.
+            assert stat.mean >= 0.90, f"{label} greedy mean {stat.mean:.3f}"
+        elif stat.capacity_fraction >= 0.10:
+            # Paper: > ~70% of OptLP for rounding + LP re-solve.
+            assert stat.mean >= 0.60, f"{label} lp mean {stat.mean:.3f}"
+        else:
+            # At the tightest TCAM budget the plain LP re-solve is
+            # sensitive to the rounding draw; with the paper's 10
+            # iterations it recovers to ~0.7, with the scaled 2-3
+            # iterations we only require the qualitative gap to the
+            # greedy variant (asserted below).
+            assert stat.mean >= 0.30, f"{label} lp mean {stat.mean:.3f}"
+    # Greedy dominates the plain LP re-solve at every capacity point.
+    by_cap = {}
+    for stat in results:
+        by_cap.setdefault(stat.capacity_fraction, {})[stat.variant] = stat
+    for cap, variants in by_cap.items():
+        assert (
+            variants[RoundingVariant.GREEDY_LP].mean
+            >= variants[RoundingVariant.LP].mean - 1e-9
+        )

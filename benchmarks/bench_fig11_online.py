@@ -1,0 +1,28 @@
+"""Fig. 11 — normalized regret of the online adaptation over time.
+
+Paper result: across 5 independent runs of 1000 epochs against i.i.d.
+uniform match rates on Internet2, the FPL strategy's cumulative regret
+stays within 15% of the best static solution in hindsight (sometimes
+negative), trending toward zero.
+"""
+
+import pytest
+
+from repro.experiments import fig11_online_regret, format_fig11_table
+from repro.experiments.online_adaptation import PAPER_RUNS
+
+
+@pytest.mark.figure("fig11")
+def test_fig11_online_regret(once):
+    evaluation = once(fig11_online_regret, num_runs=PAPER_RUNS)
+    print("\nFig. 11 — normalized regret over time (5 runs)")
+    print(format_fig11_table(evaluation))
+
+    assert len(evaluation.runs) == PAPER_RUNS
+    # Paper band: regret at most ~15% of the best static solution.
+    assert evaluation.worst_final_regret <= 0.15
+    # Regret trends down: the second half of each trajectory is no
+    # worse than its first reported point.
+    for run in evaluation.runs:
+        regrets = [p.normalized_regret for p in run.points]
+        assert regrets[-1] <= regrets[0] + 0.02

@@ -1,0 +1,26 @@
+"""Fig. 6 — max per-node memory/CPU as the NIDS module count grows.
+
+Paper result: with the traffic volume fixed at 100,000 sessions and
+the module set growing from 8 to 21 (duplicating HTTP/IRC/Login/TFTP),
+the coordinated approach scales better than the edge-only deployment
+on both metrics.
+"""
+
+import pytest
+
+from repro.experiments import fig6_module_scaling, format_comparison_table
+
+
+@pytest.mark.figure("fig6")
+def test_fig6_module_scaling(once):
+    rows = once(fig6_module_scaling)
+    print("\nFig. 6 — max per-node load vs. number of NIDS modules")
+    print(format_comparison_table(rows, "#modules"))
+
+    for row in rows:
+        assert row.coord_cpu < row.edge_cpu
+        assert row.coord_mem_mb <= row.edge_mem_mb + 1e-6
+    # Coordination's CPU advantage grows with added functionality.
+    assert rows[-1].cpu_reduction > rows[0].cpu_reduction
+    # Edge-only load grows with module count.
+    assert rows[-1].edge_cpu > rows[0].edge_cpu

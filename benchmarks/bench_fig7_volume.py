@@ -1,0 +1,28 @@
+"""Fig. 7 — max per-node memory/CPU as total traffic volume grows.
+
+Paper result: with 21 NIDS modules and 20k→100k sessions, coordination
+reduces the maximum memory footprint by ~20% and the maximum CPU
+footprint by ~50%, and the gap widens as the workload increases.
+"""
+
+import pytest
+
+from repro.experiments import fig7_volume_scaling, format_comparison_table
+
+
+@pytest.mark.figure("fig7")
+def test_fig7_volume_scaling(once):
+    rows = once(fig7_volume_scaling)
+    print("\nFig. 7 — max per-node load vs. total traffic volume (21 modules)")
+    print(format_comparison_table(rows, "#sessions"))
+
+    for row in rows:
+        assert row.coord_cpu < row.edge_cpu
+        assert row.coord_mem_mb <= row.edge_mem_mb + 1e-6
+    final = rows[-1]
+    # The paper's headline reductions at the top volume.
+    assert final.cpu_reduction > 0.35, "expected roughly 50% CPU reduction"
+    assert final.mem_reduction > 0.05, "expected memory reduction"
+    # Loads grow with volume in both deployments.
+    assert rows[-1].edge_cpu > rows[0].edge_cpu
+    assert rows[-1].coord_cpu > rows[0].coord_cpu

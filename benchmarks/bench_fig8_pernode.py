@@ -1,0 +1,45 @@
+"""Fig. 8 — memory and CPU load on each network node.
+
+Paper result: in the edge-only deployment node 11 (New York, the
+heaviest gravity-model endpoint) is the most loaded; the coordinated
+deployment offloads New York's responsibilities to other nodes on the
+same paths, and some transit nodes (the paper calls out nodes 6 and 8)
+end up doing *more* NIDS processing than in the edge-only setting.
+"""
+
+import pytest
+
+from repro.experiments import fig8_per_node_profile
+
+
+@pytest.mark.figure("fig8")
+def test_fig8_per_node_loads(once):
+    profile = once(fig8_per_node_profile)
+    print("\nFig. 8 — per-node load, edge-only vs. coordinated (21 modules)")
+    header = (
+        f"{'#':>2} {'node':<6} {'edge cpu':>12} {'coord cpu':>12}"
+        f" {'edge MB':>9} {'coord MB':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for index, (node, edge_cpu, coord_cpu, edge_mb, coord_mb) in enumerate(
+        profile.rows(), start=1
+    ):
+        print(
+            f"{index:>2} {node:<6} {edge_cpu:>12.0f} {coord_cpu:>12.0f}"
+            f" {edge_mb:>9.1f} {coord_mb:>9.1f}"
+        )
+
+    assert profile.edge.hottest_cpu_node() == "NYCM"
+    assert profile.coordinated.cpu("NYCM") < profile.edge.cpu("NYCM")
+    gained = [
+        node
+        for node, edge_cpu, coord_cpu, _, _ in profile.rows()
+        if coord_cpu > edge_cpu
+    ]
+    assert gained, "some transit nodes must absorb offloaded work"
+    # Load dispersion shrinks: the coordinated max/min CPU ratio is
+    # tighter than edge-only's.
+    edge_cpus = [row[1] for row in profile.rows()]
+    coord_cpus = [row[2] for row in profile.rows()]
+    assert max(coord_cpus) / min(coord_cpus) < max(edge_cpus) / min(edge_cpus)

@@ -1,0 +1,51 @@
+"""§2.4 and §3.4 — optimization wall-clock times.
+
+Paper results (CPLEX, 2010 hardware): the NIDS LP solves in 0.42 s on
+a 50-node topology; the full NIPS rounding pipeline takes ~220 s on
+the same scale, dominated by the two LP solves.  Both are comfortably
+inside the minutes-scale reconfiguration budget the system needs.
+
+These are true timing benchmarks, so the solver runs are repeated for
+statistics (unlike the one-shot figure regenerations).
+"""
+
+import pytest
+
+from repro.experiments import repro_scale, time_nids_lp, time_rounding_pipeline
+
+
+@pytest.mark.figure("timing-nids")
+def test_nids_lp_solve_time_50_nodes(benchmark):
+    result = benchmark.pedantic(
+        time_nids_lp, kwargs={"num_nodes": 50}, rounds=3, iterations=1
+    )
+    print(
+        f"\n§2.4 — NIDS LP on 50 nodes: {result.num_units} units,"
+        f" {result.num_variables} d-variables,"
+        f" solve {result.solve_seconds:.2f}s (paper: 0.42s)"
+    )
+    # Must stay inside the periodic-reconfiguration budget.
+    assert result.solve_seconds < 60.0
+
+
+@pytest.mark.figure("timing-nips")
+def test_nips_rounding_pipeline_time(benchmark):
+    # The 50-node pipeline with 100 rules is the paper's ~220 s
+    # measurement; at reduced scale we shrink the ruleset.
+    num_rules = 100 if repro_scale() >= 1.0 else 20
+    result = benchmark.pedantic(
+        time_rounding_pipeline,
+        kwargs={"num_nodes": 50, "num_rules": num_rules, "iterations": 1},
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\n§3.4 — NIPS pipeline on 50 nodes ({num_rules} rules):"
+        f" relaxation {result.relaxation_seconds:.1f}s +"
+        f" rounding {result.rounding_seconds:.1f}s ="
+        f" {result.total_seconds:.1f}s (paper: ~220s at 100 rules)"
+    )
+    # Periodic recomputation every few minutes must remain viable.
+    assert result.total_seconds < 600.0
+    # The paper observes most time goes to the LP solves.
+    assert result.relaxation_seconds > 0.0

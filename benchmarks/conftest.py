@@ -1,0 +1,31 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate the paper's tables and figures; each prints the
+rows/series the paper reports.  Sizes honour ``REPRO_SCALE`` (default
+0.1) — set ``REPRO_SCALE=1`` to run the paper's full volumes.  Run:
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure(name): marks a benchmark as regenerating a paper figure"
+    )
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once and return its result.
+
+    These experiments take seconds to minutes; statistical repetition
+    belongs to the cheap solver micro-benches, not the figure
+    regenerations.
+    """
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Online NIPS adaptation with follow-the-perturbed-leader (Fig. 11).
+
+Runs FPL against three match-rate processes — the paper's i.i.d.
+uniform draws, a shifting-hotspot attack, and a reactive adversary that
+always aims at the least-covered (rule, path) combination — and prints
+the normalized cumulative regret over time for each.
+
+Run:  python examples/online_adaptation.py  [#epochs]
+"""
+
+import sys
+
+from repro.core.online import FPLConfig, run_online_adaptation
+from repro.experiments.online_adaptation import build_online_problem
+from repro.nips import EvasiveAdversary, ShiftingHotspotProcess, UniformProcess
+
+
+def main() -> None:
+    epochs = int(sys.argv[1]) if len(sys.argv) > 1 else 120
+    problem = build_online_problem(num_rules=6)
+    processes = {
+        "iid-uniform (paper)": UniformProcess(problem, seed=5),
+        "shifting hotspot": ShiftingHotspotProcess(problem, seed=5, period=epochs // 6),
+        "evasive adversary": EvasiveAdversary(problem, seed=5),
+    }
+
+    print(f"FPL over {epochs} epochs on Internet2 (TCAM-free deployment)\n")
+    for label, process in processes.items():
+        config = FPLConfig(epochs=epochs, perturbation_scale=1e6, seed=3)
+        result = run_online_adaptation(
+            problem, process, config, report_every=max(1, epochs // 6)
+        )
+        trajectory = "  ".join(
+            f"t={p.epoch}:{p.normalized_regret:+.3f}" for p in result.points
+        )
+        print(f"{label}:")
+        print(f"  normalized regret  {trajectory}")
+        print(f"  final regret       {result.final_regret:+.3f}\n")
+
+    print(
+        "The paper's Fig. 11 reports regret within 15% of the best\n"
+        "static solution in hindsight (occasionally negative) for the\n"
+        "i.i.d. setting; the adversarial processes show why adaptation\n"
+        "matters — a static deployment cannot track a moving attack."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""What-if provisioning analyses (paper Section 5).
+
+Answers two administrator questions:
+1. NIDS — "which single node should I upgrade to lower the network's
+   maximum load the most?"  Re-solves the assignment LP once per
+   candidate upgrade and ranks the outcomes.
+2. NIPS — "how much footprint reduction does each increment of TCAM
+   capacity buy?"  Sweeps the LP relaxation over TCAM levels to locate
+   the knee of the return curve.
+
+Run:  python examples/provisioning_whatif.py
+"""
+
+import random
+
+from repro.core.nips_milp import (
+    DEFAULT_CPU_CAP_PACKETS,
+    DEFAULT_MEM_CAP_FLOWS,
+    build_nips_problem,
+)
+from repro.core.provisioning import nips_tcam_sweep, rank_nids_upgrades
+from repro.core.units import build_units
+from repro.nids.modules import STANDARD_MODULES
+from repro.nips import MatchRateMatrix, unit_rules
+from repro.topology import PathSet, internet2
+from repro.traffic import GeneratorConfig, TrafficGenerator
+
+
+def nids_upgrade_ranking() -> None:
+    topology = internet2().set_uniform_capacities(cpu=1.0, mem=1.0)
+    paths = PathSet(topology)
+    generator = TrafficGenerator(topology, paths, config=GeneratorConfig(seed=19))
+    sessions = generator.generate(4_000)
+    units = build_units(STANDARD_MODULES, sessions, paths)
+
+    outcomes = rank_nids_upgrades(units, topology, cpu_factor=2.0, mem_factor=2.0)
+    print("NIDS: effect of doubling one node's CPU+memory on max load")
+    print(f"{'rank':>4} {'node':<6} {'city':<14} {'new objective':>14} {'improvement':>12}")
+    for rank, outcome in enumerate(outcomes, start=1):
+        city = topology.node(outcome.node).city
+        print(
+            f"{rank:>4} {outcome.node:<6} {city:<14}"
+            f" {outcome.upgraded_objective:>14.4g} {outcome.improvement:>11.1%}"
+        )
+    print(f"  baseline objective: {outcomes[0].baseline_objective:.4g}\n")
+
+
+def nips_tcam_return_curve() -> None:
+    num_rules = 40
+    topology = internet2().set_uniform_capacities(
+        cpu=DEFAULT_CPU_CAP_PACKETS, mem=DEFAULT_MEM_CAP_FLOWS, cam=2.0
+    )
+    rules = unit_rules(num_rules)
+    pairs = [
+        (a, b) for a in topology.node_names for b in topology.node_names if a != b
+    ]
+    match = MatchRateMatrix.uniform(rules, pairs, random.Random(23))
+    problem = build_nips_problem(topology, rules, match)
+
+    levels = [2.0, 4.0, 8.0, 16.0, 32.0, 40.0]
+    points = nips_tcam_sweep(problem, levels)
+    print("NIPS: footprint-reduction upper bound vs. per-node TCAM slots")
+    print(f"{'TCAM slots':>10} {'OptLP':>14} {'marginal gain':>14}")
+    previous = None
+    for point in points:
+        gain = "" if previous is None else f"{point.objective - previous:>+14,.0f}"
+        print(f"{point.cam_capacity:>10.0f} {point.objective:>14,.0f} {gain:>14}")
+        previous = point.objective
+
+
+def main() -> None:
+    nids_upgrade_ranking()
+    nips_tcam_return_curve()
+
+
+if __name__ == "__main__":
+    main()

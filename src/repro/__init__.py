@@ -1,0 +1,91 @@
+"""repro — Network-Wide Deployment of Intrusion Detection and
+Prevention Systems.
+
+A reproduction of Sekar, Krishnaswamy, Gupta & Reiter (ACM CoNEXT
+2010).  Instead of scaling NIDS/NIPS at a few chokepoints, detection
+and prevention responsibilities are distributed across every node on
+each packet's forwarding path:
+
+* **NIDS** — a linear program assigns per-class, per-coordination-unit
+  traffic fractions to nodes, minimizing the maximum CPU/memory load
+  while guaranteeing complete coverage; the optimum is realized as
+  non-overlapping hash-range sampling manifests consulted per packet.
+* **NIPS** — an NP-hard mixed integer-linear program places filtering
+  rules under per-node TCAM budgets to maximize the network-footprint
+  reduction of unwanted traffic; practical randomized-rounding
+  algorithms reach ≥92% of the LP upper bound.
+* **Online adaptation** — a follow-the-perturbed-leader strategy keeps
+  deployments robust to adversaries that shift the attack mix.
+
+Sub-packages: :mod:`repro.core` (the contribution), :mod:`repro.lp`,
+:mod:`repro.hashing`, :mod:`repro.topology`, :mod:`repro.traffic`,
+:mod:`repro.nids`, :mod:`repro.nips`, :mod:`repro.experiments`.
+
+Quickstart::
+
+    from repro import quick_nids_deployment
+    deployment = quick_nids_deployment()
+    print(deployment.assignment.max_cpu_load)
+"""
+
+from .core import (
+    CoordinatedDispatcher,
+    FPLConfig,
+    NIDSDeployment,
+    NIPSProblem,
+    RoundingVariant,
+    best_of_roundings,
+    build_nips_problem,
+    plan_deployment,
+    run_online_adaptation,
+    solve_nids_lp,
+    solve_relaxation,
+)
+from .topology import PathSet, Topology, geant, internet2, rocketfuel
+from .traffic import TrafficGenerator, TrafficMatrix, mixed_profile
+
+__version__ = "1.0.0"
+
+
+def quick_nids_deployment(num_sessions: int = 2000, seed: int = 1):
+    """Plan a coordinated NIDS deployment on Internet2 in one call.
+
+    Convenience entry point for the README quickstart: builds the
+    11-node Internet2 topology, generates a gravity-model mixed trace,
+    and returns the planned :class:`~repro.core.NIDSDeployment`.
+    """
+    from .nids.modules import STANDARD_MODULES
+    from .traffic.generator import GeneratorConfig
+
+    topology = internet2().set_uniform_capacities(cpu=1.0, mem=1.0)
+    paths = PathSet(topology)
+    generator = TrafficGenerator(
+        topology, paths, config=GeneratorConfig(seed=seed)
+    )
+    sessions = generator.generate(num_sessions)
+    return plan_deployment(topology, paths, STANDARD_MODULES, sessions)
+
+
+__all__ = [
+    "CoordinatedDispatcher",
+    "FPLConfig",
+    "NIDSDeployment",
+    "NIPSProblem",
+    "PathSet",
+    "RoundingVariant",
+    "Topology",
+    "TrafficGenerator",
+    "TrafficMatrix",
+    "best_of_roundings",
+    "build_nips_problem",
+    "geant",
+    "internet2",
+    "mixed_profile",
+    "plan_deployment",
+    "quick_nids_deployment",
+    "rocketfuel",
+    "run_online_adaptation",
+    "solve_nids_lp",
+    "solve_relaxation",
+    "__version__",
+]

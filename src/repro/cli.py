@@ -1,0 +1,309 @@
+"""Command-line interface.
+
+Gives operators the paper's workflow without writing Python:
+
+* ``plan-nids`` — plan a coordinated NIDS deployment and emit the
+  per-node sampling manifests as JSON;
+* ``emulate`` — compare edge-only vs. coordinated deployments on a
+  generated trace;
+* ``solve-nips`` — TCAM-constrained rule placement via the rounding
+  pipeline;
+* ``microbench`` — the Fig. 5 coordination-overhead table;
+* ``online`` — FPL adaptation regret over time;
+* ``figures`` — write per-figure CSV artifacts.
+
+Run ``python -m repro.cli <command> --help`` for per-command options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from .core.manifest_io import dump_manifests
+from .core.nids_deployment import plan_deployment
+from .core.nips_milp import (
+    DEFAULT_CPU_CAP_PACKETS,
+    DEFAULT_MEM_CAP_FLOWS,
+    build_nips_problem,
+    solve_relaxation,
+)
+from .core.online import FPLConfig, run_online_adaptation
+from .core.rounding import RoundingVariant, best_of_roundings
+from .nids.emulation import emulate_coordinated, emulate_edge
+from .nids.microbench import format_microbench_table, run_microbenchmark
+from .nids.modules import module_set
+from .nips.adversary import UniformProcess
+from .nips.rules import MatchRateMatrix, unit_rules
+from .topology.datasets import by_label
+from .topology.routing import PathSet
+from .traffic.generator import GeneratorConfig, TrafficGenerator
+from .traffic.profiles import (
+    attack_heavy_profile,
+    mixed_profile,
+    web_heavy_profile,
+)
+
+_PROFILES = {
+    "mixed": mixed_profile,
+    "web-heavy": web_heavy_profile,
+    "attack-heavy": attack_heavy_profile,
+}
+
+
+def _build_world(args):
+    """Topology + paths + generator + sessions from common arguments."""
+    topology = by_label(args.topology).set_uniform_capacities(cpu=1.0, mem=1.0)
+    paths = PathSet(topology)
+    generator = TrafficGenerator(
+        topology,
+        paths,
+        profile=_PROFILES[args.profile](),
+        config=GeneratorConfig(seed=args.seed),
+    )
+    sessions = generator.generate(args.sessions)
+    return topology, paths, generator, sessions
+
+
+def cmd_plan_nids(args) -> int:
+    """Handle ``plan-nids``: solve the LP and optionally emit manifests."""
+    topology, paths, _, sessions = _build_world(args)
+    modules = module_set(args.modules)
+    units = None
+    if args.netflow_sampling is not None:
+        # Production path: plan from a (sampled) NetFlow report rather
+        # than ground-truth sessions.
+        from .measurement import FlowExporter, estimate_units
+
+        report = FlowExporter(
+            sampling_rate=args.netflow_sampling, seed=args.seed
+        ).measure(sessions)
+        units = estimate_units(modules, report, paths)
+        print(
+            f"planning from NetFlow (1-in-{1 / args.netflow_sampling:.0f}"
+            f" sampling): {report.total_flows:,.0f} estimated flows"
+        )
+    deployment = plan_deployment(
+        topology, paths, modules, sessions, coverage=args.coverage, units=units
+    )
+    assignment = deployment.assignment
+    print(
+        f"planned {len(modules)}-module deployment on {topology.name}"
+        f" ({len(sessions)} sessions, coverage={args.coverage:g})"
+    )
+    print(
+        f"LP: objective={assignment.objective:.6g}"
+        f" solve={assignment.solve_seconds:.3f}s"
+    )
+    print(f"{'node':<8} {'cpu load':>12} {'mem load':>12}")
+    for node in topology.node_names:
+        print(
+            f"{node:<8} {assignment.cpu_load[node]:>12.5g}"
+            f" {assignment.mem_load[node]:>12.5g}"
+        )
+    if args.output:
+        text = dump_manifests(deployment.manifests)
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {len(deployment.manifests)} node manifests to {args.output}")
+    return 0
+
+
+def cmd_emulate(args) -> int:
+    """Handle ``emulate``: edge-only vs. coordinated comparison."""
+    topology, paths, generator, sessions = _build_world(args)
+    modules = module_set(args.modules)
+    deployment = plan_deployment(topology, paths, modules, sessions)
+    edge = emulate_edge(generator, sessions, modules)
+    coordinated = emulate_coordinated(deployment, generator, sessions)
+    print(f"{len(sessions)} sessions, {len(modules)} modules on {topology.name}")
+    print(f"{'deployment':<12} {'max cpu':>14} {'max mem (MB)':>14}")
+    print(f"{'edge-only':<12} {edge.max_cpu:>14.0f} {edge.max_mem_mb:>14.1f}")
+    print(
+        f"{'coordinated':<12} {coordinated.max_cpu:>14.0f}"
+        f" {coordinated.max_mem_mb:>14.1f}"
+    )
+    print(
+        f"{'reduction':<12} {1 - coordinated.max_cpu / edge.max_cpu:>13.1%}"
+        f" {1 - coordinated.max_mem_mb / edge.max_mem_mb:>13.1%}"
+    )
+    return 0
+
+
+def cmd_solve_nips(args) -> int:
+    """Handle ``solve-nips``: relaxation bound plus one rounding variant."""
+    topology = by_label(args.topology).set_uniform_capacities(
+        cpu=DEFAULT_CPU_CAP_PACKETS,
+        mem=DEFAULT_MEM_CAP_FLOWS,
+        cam=args.cam_fraction * args.rules,
+    )
+    rules = unit_rules(args.rules)
+    pairs = [
+        (a, b) for a in topology.node_names for b in topology.node_names if a != b
+    ]
+    match = MatchRateMatrix.uniform(rules, pairs, random.Random(args.seed))
+    problem = build_nips_problem(topology, rules, match)
+    relaxed = solve_relaxation(problem)
+    print(
+        f"{args.rules} rules on {topology.name},"
+        f" TCAM={args.cam_fraction:.0%} of ruleset"
+    )
+    print(f"OptLP upper bound: {relaxed.objective:,.0f} ({relaxed.solve_seconds:.1f}s)")
+    variant = RoundingVariant(args.variant)
+    best = best_of_roundings(
+        problem, variant, iterations=args.iterations, seed=args.seed, relaxed=relaxed
+    )
+    print(
+        f"{variant.value}: objective={best.solution.objective:,.0f}"
+        f" ({best.fraction_of_lp:.1%} of OptLP)"
+    )
+    return 0
+
+
+def cmd_microbench(args) -> int:
+    """Handle ``microbench``: print the Fig. 5 overhead table."""
+    rows = run_microbenchmark(num_sessions=args.sessions, runs=args.runs)
+    print(format_microbench_table(rows))
+    return 0
+
+
+def cmd_online(args) -> int:
+    """Handle ``online``: print the FPL regret trajectory."""
+    from .experiments.online_adaptation import build_online_problem
+
+    problem = build_online_problem(num_rules=args.rules)
+    process = UniformProcess(problem, seed=args.seed)
+    config = FPLConfig(
+        epochs=args.epochs, perturbation_scale=1e6, seed=args.seed
+    )
+    result = run_online_adaptation(
+        problem, process, config, report_every=max(1, args.epochs // 10)
+    )
+    print(f"{'epoch':>7} {'normalized regret':>18}")
+    for point in result.points:
+        print(f"{point.epoch:>7} {point.normalized_regret:>18.4f}")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    """Regenerate figure data as CSV artifacts."""
+    import os
+
+    from . import reporting
+    from .experiments import (
+        fig6_module_scaling,
+        fig7_volume_scaling,
+        fig8_per_node_profile,
+        fig11_online_regret,
+    )
+
+    os.makedirs(args.output_dir, exist_ok=True)
+    wanted = set(args.only) if args.only else {"fig5", "fig6", "fig7", "fig8", "fig11"}
+
+    def emit(name: str, writer, *writer_args) -> None:
+        path = os.path.join(args.output_dir, f"{name}.csv")
+        with open(path, "w", newline="") as stream:
+            writer(*writer_args, stream)
+        print(f"wrote {path}")
+
+    if "fig5" in wanted:
+        rows = run_microbenchmark(num_sessions=args.sessions, runs=args.runs)
+        emit("fig5_overheads", reporting.microbench_csv, rows)
+    if "fig6" in wanted:
+        rows = fig6_module_scaling(sessions_total=args.sessions)
+        emit("fig6_modules", reporting.comparison_csv, rows, "num_modules")
+    if "fig7" in wanted:
+        rows = fig7_volume_scaling()
+        emit("fig7_volume", reporting.comparison_csv, rows, "num_sessions")
+    if "fig8" in wanted:
+        profile = fig8_per_node_profile(sessions_total=args.sessions)
+        emit("fig8_per_node", reporting.per_node_csv, profile)
+    if "fig11" in wanted:
+        evaluation = fig11_online_regret(num_runs=args.runs, epochs=args.epochs)
+        emit("fig11_regret", reporting.regret_csv, evaluation)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Network-wide NIDS/NIPS deployment (CoNEXT 2010 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common_world(p):
+        p.add_argument("--topology", default="internet2", help="topology label")
+        p.add_argument("--sessions", type=int, default=5000)
+        p.add_argument("--profile", choices=sorted(_PROFILES), default="mixed")
+        p.add_argument("--seed", type=int, default=1)
+
+    plan = sub.add_parser("plan-nids", help="plan a coordinated NIDS deployment")
+    common_world(plan)
+    plan.add_argument("--modules", type=int, default=8)
+    plan.add_argument("--coverage", type=float, default=1.0, help="redundancy level r")
+    plan.add_argument(
+        "--netflow-sampling",
+        type=float,
+        default=None,
+        help="plan from NetFlow sampled at this rate instead of ground truth",
+    )
+    plan.add_argument("--output", help="write per-node manifests JSON here")
+    plan.set_defaults(func=cmd_plan_nids)
+
+    emulate = sub.add_parser("emulate", help="edge-only vs. coordinated emulation")
+    common_world(emulate)
+    emulate.add_argument("--modules", type=int, default=21)
+    emulate.set_defaults(func=cmd_emulate)
+
+    nips = sub.add_parser("solve-nips", help="TCAM-constrained rule placement")
+    nips.add_argument("--topology", default="internet2")
+    nips.add_argument("--rules", type=int, default=100)
+    nips.add_argument("--cam-fraction", type=float, default=0.10)
+    nips.add_argument(
+        "--variant",
+        choices=[v.value for v in RoundingVariant],
+        default=RoundingVariant.GREEDY_LP.value,
+    )
+    nips.add_argument("--iterations", type=int, default=5)
+    nips.add_argument("--seed", type=int, default=1)
+    nips.set_defaults(func=cmd_solve_nips)
+
+    micro = sub.add_parser("microbench", help="Fig. 5 coordination overheads")
+    micro.add_argument("--sessions", type=int, default=8000)
+    micro.add_argument("--runs", type=int, default=2)
+    micro.set_defaults(func=cmd_microbench)
+
+    online = sub.add_parser("online", help="FPL online-adaptation regret")
+    online.add_argument("--epochs", type=int, default=100)
+    online.add_argument("--rules", type=int, default=6)
+    online.add_argument("--seed", type=int, default=1)
+    online.set_defaults(func=cmd_online)
+
+    figures = sub.add_parser("figures", help="write figure data as CSV artifacts")
+    figures.add_argument("--output-dir", default="figures")
+    figures.add_argument(
+        "--only",
+        nargs="*",
+        choices=["fig5", "fig6", "fig7", "fig8", "fig11"],
+        help="restrict to specific figures (default: all)",
+    )
+    figures.add_argument("--sessions", type=int, default=4000)
+    figures.add_argument("--runs", type=int, default=2)
+    figures.add_argument("--epochs", type=int, default=60)
+    figures.set_defaults(func=cmd_figures)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,162 @@
+"""Sampling-manifest generation (paper Fig. 2 and Section 2.5).
+
+``GenerateNIDSManifest`` converts the LP's optimal ``d*`` fractions
+into hash ranges: for each coordination unit the eligible nodes' ranges
+are laid end to end over ``[0, coverage]``, guaranteeing that the
+ranges are non-overlapping and exactly cover the space.  With the
+redundancy extension (coverage ``r`` > 1) positions beyond 1 wrap
+around modulo 1; because every ``d_ikj <= 1``, a node's arc never
+overlaps itself, so every point of the hash space is covered by ``r``
+*distinct* nodes.
+
+:func:`verify_manifests` re-checks both invariants numerically and is
+used by the test suite and as an operational safety net.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from ..hashing.ranges import (
+    EPSILON,
+    HashRange,
+    WrappedRange,
+    are_disjoint,
+    covers_unit_interval,
+)
+from .nids_lp import NIDSAssignment
+from .units import CoordinationUnit, UnitKey
+
+EntryKey = Tuple[str, UnitKey]  # (class name, unit key)
+
+
+@dataclass
+class NodeManifest:
+    """The sampling manifest for one node ``R_j``.
+
+    Maps each (class, coordination unit) this node participates in to
+    the hash ranges it is responsible for.  ``full=True`` builds the
+    degenerate standalone manifest in which the node analyzes all
+    traffic for every class — the configuration used for the paper's
+    single-node microbenchmarks.
+    """
+
+    node: str
+    entries: Dict[EntryKey, Tuple[HashRange, ...]] = field(default_factory=dict)
+    full: bool = False
+
+    def ranges(self, class_name: str, key: UnitKey) -> Tuple[HashRange, ...]:
+        """Hash ranges held for (class, unit key)."""
+        if self.full:
+            return (HashRange(0.0, 1.0),)
+        return self.entries.get((class_name, key), ())
+
+    def responsible(self, class_name: str, key: UnitKey) -> bool:
+        """Whether this node has any positive range for the unit."""
+        if self.full:
+            return True
+        return any(not r.empty for r in self.entries.get((class_name, key), ()))
+
+    def contains(self, class_name: str, key: UnitKey, hash_value: float) -> bool:
+        """The Fig. 3 check: does *hash_value* fall in this node's range?"""
+        if self.full:
+            return True
+        return any(r.contains(hash_value) for r in self.entries.get((class_name, key), ()))
+
+    def assigned_fraction(self, class_name: str, key: UnitKey) -> float:
+        """Total hash-space share held for the unit (equals ``d_ikj``)."""
+        if self.full:
+            return 1.0
+        return sum(r.length for r in self.entries.get((class_name, key), ()))
+
+    @property
+    def num_entries(self) -> int:
+        """Number of (class, unit) entries in the manifest."""
+        return len(self.entries)
+
+
+def full_manifest(node: str) -> NodeManifest:
+    """Standalone manifest: *node* processes all traffic for all classes."""
+    return NodeManifest(node=node, full=True)
+
+
+def generate_manifests(
+    units: Sequence[CoordinationUnit],
+    assignment: NIDSAssignment,
+    node_names: Iterable[str],
+) -> Dict[str, NodeManifest]:
+    """Translate ``d*`` into per-node sampling manifests (Fig. 2).
+
+    The order of nodes within a unit does not matter (Fig. 2 comment);
+    we use the unit's eligible-node order, which is deterministic.
+    Coverage per unit comes from the assignment (1 for the base
+    formulation, up to ``r`` under redundancy); ranges past 1.0 wrap.
+    """
+    manifests: Dict[str, NodeManifest] = {
+        name: NodeManifest(node=name) for name in node_names
+    }
+    for unit in units:
+        position = 0.0
+        for node in unit.eligible:
+            fraction = assignment.fraction(unit.class_name, unit.key, node)
+            if fraction <= EPSILON:
+                continue
+            arc = WrappedRange(start=position % 1.0, length=min(1.0, fraction))
+            pieces = tuple(arc.pieces())
+            if pieces:
+                manifests[node].entries[(unit.class_name, unit.key)] = pieces
+            position += fraction
+        expected = assignment.coverage.get(unit.ident, 1.0)
+        if abs(position - expected) > 1e-6:
+            raise ValueError(
+                f"unit {unit.ident} fractions sum to {position}, expected {expected}"
+            )
+    return manifests
+
+
+def verify_manifests(
+    units: Sequence[CoordinationUnit],
+    manifests: Mapping[str, NodeManifest],
+) -> None:
+    """Check the two manifest invariants; raise ``ValueError`` if broken.
+
+    (1) For every unit, the union of all nodes' ranges covers the unit
+    hash space exactly ``coverage`` times.  (2) No node's own ranges
+    for a unit overlap (a node never analyzes the same traffic twice).
+    """
+    for unit in units:
+        all_pieces: List[HashRange] = []
+        coverage_total = 0.0
+        for node in unit.eligible:
+            pieces = list(manifests[node].ranges(unit.class_name, unit.key))
+            if not are_disjoint(pieces):
+                raise ValueError(
+                    f"node {node} has self-overlapping ranges for {unit.ident}"
+                )
+            all_pieces.extend(pieces)
+            coverage_total += sum(p.length for p in pieces)
+        fold = int(round(coverage_total))
+        if abs(coverage_total - fold) > 1e-6 or fold < 1:
+            raise ValueError(
+                f"unit {unit.ident} total coverage {coverage_total} is not a"
+                " positive integer"
+            )
+        if not covers_unit_interval(all_pieces, fold=fold):
+            raise ValueError(f"unit {unit.ident} does not cover [0,1] {fold}-fold")
+
+
+def sampled_node(
+    unit: CoordinationUnit,
+    manifests: Mapping[str, NodeManifest],
+    hash_value: float,
+) -> List[str]:
+    """All nodes whose range for *unit* contains *hash_value*.
+
+    Length 1 in the base formulation, ``r`` under redundancy level r.
+    """
+    return [
+        node
+        for node in unit.eligible
+        if manifests[node].contains(unit.class_name, unit.key, hash_value)
+    ]

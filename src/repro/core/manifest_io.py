@@ -1,0 +1,149 @@
+"""Wire format for sampling manifests and assignments.
+
+The paper's operations center "periodically configures the NIDS
+responsibilities of the different nodes": the artifact it ships to each
+node is the sampling manifest.  This module defines a stable JSON
+encoding for manifests and assignments so they can be distributed,
+versioned, diffed, and reloaded — plus round-trip helpers used by the
+CLI and the test suite.
+
+Schema (version 1):
+
+```json
+{
+  "version": 1,
+  "node": "KSCY",
+  "entries": [
+    {"class": "http", "unit": ["NYCM", "STTL"],
+     "ranges": [[0.25, 0.5], [0.75, 0.8]]}
+  ]
+}
+```
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Mapping
+
+from ..hashing.ranges import HashRange
+from .manifest import NodeManifest
+from .nids_lp import NIDSAssignment
+
+SCHEMA_VERSION = 1
+
+
+def manifest_to_dict(manifest: NodeManifest) -> dict:
+    """Encode one node's manifest as a JSON-compatible dict."""
+    entries = []
+    for (class_name, key), ranges in sorted(manifest.entries.items()):
+        entries.append(
+            {
+                "class": class_name,
+                "unit": list(key),
+                "ranges": [[r.lo, r.hi] for r in ranges],
+            }
+        )
+    return {
+        "version": SCHEMA_VERSION,
+        "node": manifest.node,
+        "full": manifest.full,
+        "entries": entries,
+    }
+
+
+def manifest_from_dict(data: Mapping) -> NodeManifest:
+    """Decode a manifest dict, validating the schema version."""
+    version = data.get("version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(f"unsupported manifest schema version {version!r}")
+    manifest = NodeManifest(node=data["node"], full=bool(data.get("full", False)))
+    for entry in data.get("entries", []):
+        key = tuple(entry["unit"])
+        ranges = tuple(HashRange(lo, hi) for lo, hi in entry["ranges"])
+        manifest.entries[(entry["class"], key)] = ranges
+    return manifest
+
+
+def dump_manifests(manifests: Mapping[str, NodeManifest]) -> str:
+    """Serialize a full set of per-node manifests to JSON text."""
+    return json.dumps(
+        {
+            "version": SCHEMA_VERSION,
+            "manifests": [
+                manifest_to_dict(manifests[node]) for node in sorted(manifests)
+            ],
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def load_manifests(text: str) -> Dict[str, NodeManifest]:
+    """Parse JSON text produced by :func:`dump_manifests`."""
+    data = json.loads(text)
+    if data.get("version") != SCHEMA_VERSION:
+        raise ValueError(f"unsupported schema version {data.get('version')!r}")
+    manifests = {}
+    for entry in data["manifests"]:
+        manifest = manifest_from_dict(entry)
+        manifests[manifest.node] = manifest
+    return manifests
+
+
+def assignment_to_dict(assignment: NIDSAssignment) -> dict:
+    """Encode an LP assignment (the ``d*`` profile) as a dict."""
+    fractions = [
+        {
+            "class": class_name,
+            "unit": list(key),
+            "node": node,
+            "fraction": value,
+        }
+        for (class_name, key, node), value in sorted(assignment.fractions.items())
+        if value > 1e-12
+    ]
+    return {
+        "version": SCHEMA_VERSION,
+        "objective": assignment.objective,
+        "solve_seconds": assignment.solve_seconds,
+        "cpu_load": dict(sorted(assignment.cpu_load.items())),
+        "mem_load": dict(sorted(assignment.mem_load.items())),
+        "coverage": [
+            {"class": class_name, "unit": list(key), "coverage": value}
+            for (class_name, key), value in sorted(assignment.coverage.items())
+        ],
+        "fractions": fractions,
+    }
+
+
+def assignment_from_dict(data: Mapping) -> NIDSAssignment:
+    """Decode an assignment dict back into :class:`NIDSAssignment`."""
+    if data.get("version") != SCHEMA_VERSION:
+        raise ValueError(f"unsupported schema version {data.get('version')!r}")
+    fractions = {
+        (entry["class"], tuple(entry["unit"]), entry["node"]): entry["fraction"]
+        for entry in data["fractions"]
+    }
+    coverage = {
+        (entry["class"], tuple(entry["unit"])): entry["coverage"]
+        for entry in data["coverage"]
+    }
+    return NIDSAssignment(
+        fractions=fractions,
+        cpu_load=dict(data["cpu_load"]),
+        mem_load=dict(data["mem_load"]),
+        objective=float(data["objective"]),
+        coverage=coverage,
+        solve_seconds=float(data.get("solve_seconds", 0.0)),
+    )
+
+
+def dump_assignment(assignment: NIDSAssignment) -> str:
+    """Serialize an assignment to JSON text."""
+    return json.dumps(assignment_to_dict(assignment), indent=2, sort_keys=True)
+
+
+def load_assignment(text: str) -> NIDSAssignment:
+    """Parse JSON text produced by :func:`dump_assignment`."""
+    return assignment_from_dict(json.loads(text))

@@ -1,0 +1,305 @@
+"""The NIDS assignment LP (paper Section 2.2).
+
+Decision variables ``d_ikj`` give the fraction of coordination unit
+``P_ik``'s traffic that node ``R_j`` analyzes for class ``C_i``.  The
+program minimizes the maximum per-node CPU/memory load while covering
+every unit:
+
+    min  max{CpuLoad, MemLoad}
+    s.t. sum_j d_ikj = coverage           for all i, k        (Eq. 1)
+         MemLoad_j = sum_ik mem_ik d_ikj / MemCap_j           (Eq. 2)
+         CpuLoad_j = sum_ik cpu_ik d_ikj / CpuCap_j           (Eq. 3)
+         CpuLoad >= CpuLoad_j, MemLoad >= MemLoad_j           (Eq. 4-5)
+         0 <= d_ikj <= 1                                      (Eq. 6)
+
+``coverage`` is 1 in the base formulation; the Section 2.5 redundancy
+extension sets it to ``r`` so the hash space ``[0, r]`` is covered and
+each point is analyzed by ``r`` distinct nodes (``d_ikj <= 1`` keeps a
+node from covering the same point twice).  Units whose eligible set is
+smaller than ``r`` are capped at their set size, which preserves
+feasibility (a singleton unit simply cannot be replicated).
+
+The per-unit coefficients ``cpu_ik`` / ``mem_ik`` are the measured
+``CpuReq_i * T_ik^pkts`` and ``MemReq_i * T_ik^items`` products,
+precomputed by :mod:`repro.core.units` from the trace.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..lp.model import LinearProgram, Sense, Variable, linear_sum
+from ..lp.solver import LPSolution, solve_or_raise
+from ..topology.graph import Topology
+from .units import CoordinationUnit, UnitKey
+
+FractionKey = Tuple[str, UnitKey, str]  # (class, unit key, node)
+
+
+@dataclass
+class NIDSAssignment:
+    """Optimal ``d*`` fractions plus the per-node load profile."""
+
+    fractions: Dict[FractionKey, float]
+    cpu_load: Dict[str, float]
+    mem_load: Dict[str, float]
+    objective: float
+    coverage: Dict[Tuple[str, UnitKey], float]
+    solve_seconds: float
+
+    def fraction(self, class_name: str, key: UnitKey, node: str) -> float:
+        """``d*`` for (class, unit, node); 0 when absent."""
+        return self.fractions.get((class_name, key, node), 0.0)
+
+    @property
+    def max_cpu_load(self) -> float:
+        """Largest per-node CPU load."""
+        return max(self.cpu_load.values()) if self.cpu_load else 0.0
+
+    @property
+    def max_mem_load(self) -> float:
+        """Largest per-node memory load."""
+        return max(self.mem_load.values()) if self.mem_load else 0.0
+
+    def responsible_nodes(self, class_name: str, key: UnitKey) -> List[Tuple[str, float]]:
+        """Nodes with positive responsibility for a unit, with fractions."""
+        return [
+            (node, value)
+            for (c, k, node), value in self.fractions.items()
+            if c == class_name and k == key and value > 1e-9
+        ]
+
+
+@dataclass
+class BuiltNIDSLP:
+    """The constructed LP plus the variable maps needed to read it back."""
+
+    program: LinearProgram
+    d_vars: Dict[FractionKey, Variable]
+    cpu_load_vars: Dict[str, Variable]
+    mem_load_vars: Dict[str, Variable]
+    coverage: Dict[Tuple[str, UnitKey], float]
+
+
+def build_nids_lp(
+    units: Sequence[CoordinationUnit],
+    topology: Topology,
+    coverage: float = 1.0,
+    objective: str = "max",
+    cpu_weight: float = 1.0,
+    mem_weight: float = 1.0,
+) -> BuiltNIDSLP:
+    """Construct the Section 2.2 LP for *units* on *topology*.
+
+    *coverage* > 1 activates the redundancy extension; each unit's
+    effective coverage is ``min(coverage, |P_ik|)``.
+
+    The paper notes the load should be balanced "for a suitable
+    balancing function" and adopts min-max for concreteness.
+    ``objective`` selects the balancing function:
+
+    * ``"max"`` — the paper's ``min max{CpuLoad, MemLoad}``;
+    * ``"sum"`` — ``min cpu_weight*CpuLoad + mem_weight*MemLoad``
+      (both dimensions always exert pressure, not only the binding
+      one; weights express the relative cost of CPU vs. memory
+      headroom).
+    """
+    if objective not in ("max", "sum"):
+        raise ValueError(f"unknown objective {objective!r}")
+    if coverage < 1.0:
+        raise ValueError("coverage must be >= 1")
+    lp = LinearProgram("nids-assignment")
+
+    d_vars: Dict[FractionKey, Variable] = {}
+    per_unit_coverage: Dict[Tuple[str, UnitKey], float] = {}
+    for unit in units:
+        unit_coverage = min(coverage, float(len(unit.eligible)))
+        per_unit_coverage[unit.ident] = unit_coverage
+        unit_vars = []
+        for node in unit.eligible:
+            var = lp.add_variable(
+                f"d[{unit.class_name}|{'/'.join(unit.key)}|{node}]", lb=0.0, ub=1.0
+            )
+            d_vars[(unit.class_name, unit.key, node)] = var
+            unit_vars.append(var)
+        lp.add_constraint(
+            linear_sum(unit_vars).equals(unit_coverage),
+            name=f"cover[{unit.class_name}|{'/'.join(unit.key)}]",
+        )
+
+    # Group load terms per node.
+    cpu_terms: Dict[str, List] = {name: [] for name in topology.node_names}
+    mem_terms: Dict[str, List] = {name: [] for name in topology.node_names}
+    for unit in units:
+        for node in unit.eligible:
+            var = d_vars[(unit.class_name, unit.key, node)]
+            cpu_terms[node].append(var * unit.cpu_work)
+            mem_terms[node].append(var * unit.mem_bytes)
+
+    cpu_load_vars: Dict[str, Variable] = {}
+    mem_load_vars: Dict[str, Variable] = {}
+    cpu_max = lp.add_variable("CpuLoad")
+    mem_max = lp.add_variable("MemLoad")
+    for name in topology.node_names:
+        node = topology.node(name)
+        cpu_j = lp.add_variable(f"CpuLoad[{name}]")
+        mem_j = lp.add_variable(f"MemLoad[{name}]")
+        cpu_load_vars[name] = cpu_j
+        mem_load_vars[name] = mem_j
+        lp.add_constraint(
+            cpu_j.equals(linear_sum(cpu_terms[name]) / node.cpu_capacity),
+            name=f"cpu-def[{name}]",
+        )
+        lp.add_constraint(
+            mem_j.equals(linear_sum(mem_terms[name]) / node.mem_capacity),
+            name=f"mem-def[{name}]",
+        )
+        lp.add_constraint(cpu_max >= cpu_j, name=f"cpu-max[{name}]")
+        lp.add_constraint(mem_max >= mem_j, name=f"mem-max[{name}]")
+
+    if objective == "max":
+        target = lp.add_variable("MaxLoad")
+        lp.add_constraint(target >= cpu_max, name="obj-cpu")
+        lp.add_constraint(target >= mem_max, name="obj-mem")
+        lp.set_objective(target, Sense.MINIMIZE)
+    else:
+        lp.set_objective(
+            cpu_weight * cpu_max + mem_weight * mem_max, Sense.MINIMIZE
+        )
+
+    return BuiltNIDSLP(
+        program=lp,
+        d_vars=d_vars,
+        cpu_load_vars=cpu_load_vars,
+        mem_load_vars=mem_load_vars,
+        coverage=per_unit_coverage,
+    )
+
+
+def solve_nids_lp(
+    units: Sequence[CoordinationUnit],
+    topology: Topology,
+    coverage: float = 1.0,
+    objective: str = "max",
+    cpu_weight: float = 1.0,
+    mem_weight: float = 1.0,
+) -> NIDSAssignment:
+    """Build and solve the assignment LP, returning the ``d*`` profile.
+
+    The LP is always feasible: ``d_ikj = coverage / |P_ik|`` satisfies
+    every constraint, so a solver failure indicates a bug and raises.
+    """
+    started = time.perf_counter()
+    built = build_nids_lp(
+        units,
+        topology,
+        coverage,
+        objective=objective,
+        cpu_weight=cpu_weight,
+        mem_weight=mem_weight,
+    )
+    solution = solve_or_raise(built.program)
+    elapsed = time.perf_counter() - started
+
+    fractions = {
+        key: max(0.0, min(1.0, solution.value(var)))
+        for key, var in built.d_vars.items()
+    }
+    cpu_load = {
+        name: solution.value(var) for name, var in built.cpu_load_vars.items()
+    }
+    mem_load = {
+        name: solution.value(var) for name, var in built.mem_load_vars.items()
+    }
+    return NIDSAssignment(
+        fractions=fractions,
+        cpu_load=cpu_load,
+        mem_load=mem_load,
+        objective=solution.objective,
+        coverage=built.coverage,
+        solve_seconds=elapsed,
+    )
+
+
+def integral_assignment(
+    units: Sequence[CoordinationUnit],
+    topology: Topology,
+) -> NIDSAssignment:
+    """Whole-unit assignment (ablation for the fractional split).
+
+    Assigns each coordination unit entirely to one eligible node —
+    the least-loaded-first heuristic an operator without fractional
+    hash-range splitting would use.  Quantifies what Eq. 6's
+    "fractional split to provide more fine-grained opportunities for
+    distributing the load" buys: with coarse units (one hot path can
+    exceed a node's fair share) the integral max load is strictly
+    worse than the LP optimum.
+    """
+    ordered = sorted(units, key=lambda u: -(u.cpu_work + u.mem_bytes))
+    fractions: Dict[FractionKey, float] = {}
+    per_unit_coverage: Dict[Tuple[str, UnitKey], float] = {}
+    cpu_load = {name: 0.0 for name in topology.node_names}
+    mem_load = {name: 0.0 for name in topology.node_names}
+    for unit in ordered:
+        per_unit_coverage[unit.ident] = 1.0
+        best = min(
+            unit.eligible,
+            key=lambda node: max(
+                cpu_load[node]
+                + unit.cpu_work / topology.node(node).cpu_capacity,
+                mem_load[node]
+                + unit.mem_bytes / topology.node(node).mem_capacity,
+            ),
+        )
+        fractions[(unit.class_name, unit.key, best)] = 1.0
+        cpu_load[best] += unit.cpu_work / topology.node(best).cpu_capacity
+        mem_load[best] += unit.mem_bytes / topology.node(best).mem_capacity
+    objective = max(
+        max(cpu_load.values(), default=0.0), max(mem_load.values(), default=0.0)
+    )
+    return NIDSAssignment(
+        fractions=fractions,
+        cpu_load=cpu_load,
+        mem_load=mem_load,
+        objective=objective,
+        coverage=per_unit_coverage,
+        solve_seconds=0.0,
+    )
+
+
+def uniform_assignment(
+    units: Sequence[CoordinationUnit],
+    topology: Topology,
+    coverage: float = 1.0,
+) -> NIDSAssignment:
+    """The naive even split ``d_ikj = coverage/|P_ik|`` (ablation baseline).
+
+    Ignores load: every eligible node takes an equal share.  Useful for
+    quantifying what the LP's load-awareness buys.
+    """
+    fractions: Dict[FractionKey, float] = {}
+    per_unit_coverage: Dict[Tuple[str, UnitKey], float] = {}
+    cpu_load = {name: 0.0 for name in topology.node_names}
+    mem_load = {name: 0.0 for name in topology.node_names}
+    for unit in units:
+        unit_coverage = min(coverage, float(len(unit.eligible)))
+        per_unit_coverage[unit.ident] = unit_coverage
+        share = unit_coverage / len(unit.eligible)
+        for node in unit.eligible:
+            fractions[(unit.class_name, unit.key, node)] = share
+            spec = topology.node(node)
+            cpu_load[node] += unit.cpu_work * share / spec.cpu_capacity
+            mem_load[node] += unit.mem_bytes * share / spec.mem_capacity
+    objective = max(
+        max(cpu_load.values(), default=0.0), max(mem_load.values(), default=0.0)
+    )
+    return NIDSAssignment(
+        fractions=fractions,
+        cpu_load=cpu_load,
+        mem_load=mem_load,
+        objective=objective,
+        coverage=per_unit_coverage,
+        solve_seconds=0.0,
+    )

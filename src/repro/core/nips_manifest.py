@@ -1,0 +1,168 @@
+"""NIPS rule placements and sampling manifests (paper Section 3.2).
+
+"We want to generate rule placements specifying which rules are enabled
+on each NIPS node and sampling manifests specifying what fraction of
+the traffic the node should process for each enabled rule."
+
+A solved :class:`~repro.core.nips_milp.NIPSSolution` carries ``e`` and
+``d``; this module lays each path's ``d_ikj`` fractions out as
+non-overlapping hash ranges along the path (the same Fig. 2 procedure
+the NIDS side uses) and packages, per node, the TCAM rule set plus the
+per-(rule, path) ranges — the configuration a NIPS box actually needs.
+:class:`NIPSDispatcher` then answers the per-packet question: "should
+this node apply rule ``C_i`` to this packet?"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..hashing.bobhash import hash_unit
+from ..hashing.keys import Aggregation, key_for
+from ..hashing.ranges import EPSILON, HashRange, are_disjoint
+from ..traffic.generator import home_node_index
+from ..traffic.packet import Packet
+from .nips_milp import DKey, NIPSProblem, NIPSSolution
+
+Pair = Tuple[str, str]
+
+
+@dataclass
+class NIPSNodeManifest:
+    """One NIPS node's configuration: TCAM rules + sampling ranges."""
+
+    node: str
+    enabled_rules: Tuple[int, ...]
+    #: Hash ranges per (rule index, path pair).
+    ranges: Dict[Tuple[int, Pair], Tuple[HashRange, ...]] = field(default_factory=dict)
+
+    def sampled_fraction(self, rule_index: int, pair: Pair) -> float:
+        """Hash-space share held for (rule, path)."""
+        return sum(r.length for r in self.ranges.get((rule_index, pair), ()))
+
+    def contains(self, rule_index: int, pair: Pair, hash_value: float) -> bool:
+        """Whether *hash_value* falls in this node's range."""
+        return any(
+            r.contains(hash_value) for r in self.ranges.get((rule_index, pair), ())
+        )
+
+    @property
+    def tcam_rules_used(self) -> int:
+        """TCAM slots consumed (one per enabled rule)."""
+        return len(self.enabled_rules)
+
+
+def generate_nips_manifests(
+    problem: NIPSProblem, solution: NIPSSolution
+) -> Dict[str, NIPSNodeManifest]:
+    """Translate ``(e, d)`` into per-node NIPS manifests.
+
+    For each (rule, path), the responsible nodes' fractions are laid
+    end to end over ``[0, 1]`` in path order — Eq. 11 guarantees they
+    sum to at most 1, so the ranges are disjoint and no flow is
+    inspected twice (which is also what makes the conservative load
+    model of Eqs. 9-10 exact; see :mod:`repro.nips.enforcement`).
+    """
+    per_path: Dict[Tuple[int, Pair], Dict[str, float]] = {}
+    for (i, pair, node), fraction in solution.d.items():
+        if fraction > EPSILON:
+            per_path.setdefault((i, pair), {})[node] = fraction
+
+    manifests: Dict[str, NIPSNodeManifest] = {}
+    for node in problem.topology.node_names:
+        enabled = tuple(
+            sorted(
+                i
+                for (i, n), value in solution.e.items()
+                if n == node and value >= 0.5
+            )
+        )
+        manifests[node] = NIPSNodeManifest(node=node, enabled_rules=enabled)
+
+    for (i, pair), fractions in per_path.items():
+        position = 0.0
+        for node in problem.paths[pair].nodes:
+            fraction = fractions.get(node, 0.0)
+            if fraction <= EPSILON:
+                continue
+            piece = HashRange(position, min(1.0, position + fraction))
+            manifests[node].ranges[(i, pair)] = (piece,)
+            position += fraction
+        if position > 1.0 + 1e-6:
+            raise ValueError(
+                f"rule {i} on path {pair}: sampling fractions sum to {position}"
+            )
+    return manifests
+
+
+def verify_nips_manifests(
+    problem: NIPSProblem,
+    solution: NIPSSolution,
+    manifests: Mapping[str, NIPSNodeManifest],
+) -> None:
+    """Check manifest invariants; raise ``ValueError`` when broken.
+
+    (1) A node samples for a rule only if the rule is in its TCAM.
+    (2) Per (rule, path), ranges across nodes are disjoint and their
+    total measure equals the solution's sampled fraction.
+    """
+    per_path_pieces: Dict[Tuple[int, Pair], List[HashRange]] = {}
+    for node, manifest in manifests.items():
+        for (i, pair), pieces in manifest.ranges.items():
+            if i not in manifest.enabled_rules:
+                raise ValueError(
+                    f"node {node} samples rule {i} without enabling it"
+                )
+            per_path_pieces.setdefault((i, pair), []).extend(pieces)
+    for (i, pair), pieces in per_path_pieces.items():
+        if not are_disjoint(pieces):
+            raise ValueError(f"overlapping ranges for rule {i} on {pair}")
+        total = sum(p.length for p in pieces)
+        expected = sum(
+            fraction
+            for (rule, p, _node), fraction in solution.d.items()
+            if rule == i and p == pair and fraction > EPSILON
+        )
+        if abs(total - expected) > 1e-6:
+            raise ValueError(
+                f"rule {i} on {pair}: ranges cover {total}, solution says {expected}"
+            )
+
+
+class NIPSDispatcher:
+    """Per-packet filtering decision at one NIPS node.
+
+    Flow-level sampling over the unidirectional 5-tuple (NIPS rules
+    operate per packet/flow — Section 3.1); the path is recovered from
+    the host identifiers' home PoPs.
+    """
+
+    def __init__(
+        self,
+        manifest: NIPSNodeManifest,
+        node_names: Sequence[str],
+        hash_seed: int = 0,
+    ):
+        self.manifest = manifest
+        self.node_names = list(node_names)
+        self.hash_seed = hash_seed
+
+    def _pair_of(self, packet: Packet) -> Pair:
+        src_home = self.node_names[home_node_index(packet.tuple.src)]
+        dst_home = self.node_names[home_node_index(packet.tuple.dst)]
+        return (src_home, dst_home)
+
+    def rules_to_apply(self, packet: Packet) -> List[int]:
+        """Rule indices this node applies to *packet*."""
+        pair = self._pair_of(packet)
+        t = packet.tuple
+        hash_value = hash_unit(
+            key_for(Aggregation.FLOW, t.src, t.dst, t.sport, t.dport, t.proto),
+            self.hash_seed,
+        )
+        return [
+            i
+            for i in self.manifest.enabled_rules
+            if self.manifest.contains(i, pair, hash_value)
+        ]

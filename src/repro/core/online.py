@@ -1,0 +1,244 @@
+"""Online adaptation of NIPS deployments (paper Section 3.5).
+
+Adversaries control the unwanted-traffic profile: the match rates
+``M_ik`` change over time and are revealed only after each epoch's
+deployment decision.  Following Kalai–Vempala, the *follow the
+perturbed leader* (FPL) strategy feeds a perturbed sum of the observed
+state vectors to the offline optimizer ``Λ`` and provably achieves
+average regret ``sqrt(D R A / γ) / γ → 0`` against the best static
+solution in hindsight.
+
+The decision space here is the TCAM-free NIPS polytope (Eqs. 9–11 and
+13, no ``e`` variables), exactly as the paper's preliminary evaluation;
+``Λ`` is one LP solve.  State vectors have one component per
+``(i, k, j)``: ``S_ikj = T_ik^items × M_ik × Dist_ikj``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..lp.model import LinearProgram, Sense, Variable, linear_sum
+from ..lp.solver import solve_or_raise
+from .nips_milp import DKey, NIPSProblem
+
+MatchRates = Dict[Tuple[int, Tuple[str, str]], float]
+Decision = Dict[DKey, float]
+
+
+def state_vector(problem: NIPSProblem, rates: Mapping) -> Dict[DKey, float]:
+    """``S_t``: per-component value of filtering under match rates."""
+    state: Dict[DKey, float] = {}
+    for pair in problem.pairs:
+        items = problem.items[pair]
+        for rule in problem.rules:
+            rate = rates.get((rule.index, pair), 0.0)
+            if rate <= 0.0:
+                continue
+            for node in problem.paths[pair].nodes:
+                state[(rule.index, pair, node)] = (
+                    items * rate * problem.dist[pair][node]
+                )
+    return state
+
+
+def decision_value(state: Mapping[DKey, float], decision: Mapping[DKey, float]) -> float:
+    """``O · S``: footprint reduction achieved by *decision* under *state*."""
+    return sum(weight * decision.get(key, 0.0) for key, weight in state.items())
+
+
+def solve_best_response(
+    problem: NIPSProblem, weights: Mapping[DKey, float]
+) -> Decision:
+    """``Λ``: the offline optimizer over the TCAM-free polytope.
+
+    Maximizes ``sum(weights * d)`` subject to the node memory/CPU
+    capacities (Eqs. 9–10) and the per-(rule, path) sampling bound
+    (Eq. 11).  Components with non-positive weight are fixed to zero —
+    they can only consume capacity.
+    """
+    lp = LinearProgram("nips-online")
+    d_vars: Dict[DKey, Variable] = {}
+    mem_terms: Dict[str, List] = {n: [] for n in problem.topology.node_names}
+    cpu_terms: Dict[str, List] = {n: [] for n in problem.topology.node_names}
+    path_terms: Dict[Tuple[int, Tuple[str, str]], List[Variable]] = {}
+    objective_terms = []
+
+    for key, weight in weights.items():
+        if weight <= 0.0:
+            continue
+        i, pair, node = key
+        var = lp.add_variable(f"d[{i}|{pair[0]}-{pair[1]}|{node}]", lb=0.0, ub=1.0)
+        d_vars[key] = var
+        rule = problem.rules[i]
+        objective_terms.append(var * weight)
+        mem_terms[node].append(var * (problem.items[pair] * rule.mem_req))
+        cpu_terms[node].append(var * (problem.pkts[pair] * rule.cpu_req))
+        path_terms.setdefault((i, pair), []).append(var)
+
+    if not d_vars:
+        # Nothing is worth filtering (all weights non-positive).
+        return {}
+
+    for node_name in problem.topology.node_names:
+        node = problem.topology.node(node_name)
+        if mem_terms[node_name]:
+            lp.add_constraint(linear_sum(mem_terms[node_name]) <= node.mem_capacity)
+        if cpu_terms[node_name]:
+            lp.add_constraint(linear_sum(cpu_terms[node_name]) <= node.cpu_capacity)
+    for variables in path_terms.values():
+        lp.add_constraint(linear_sum(variables) <= 1.0)
+
+    lp.set_objective(linear_sum(objective_terms), Sense.MAXIMIZE)
+    solution = solve_or_raise(lp)
+    return {key: solution.value(var) for key, var in d_vars.items()}
+
+
+@dataclass
+class FPLConfig:
+    """Follow-the-perturbed-leader parameters.
+
+    ``epsilon=None`` applies the theorem's setting
+    ``epsilon = sqrt(D / (R A γ))`` with the paper's constants
+    ``D = M N L`` and ``R = A = sum_ik T^items × maxdrop``.  That
+    theoretical epsilon is extremely conservative (the perturbation
+    dominates the signal for small γ); the evaluation driver uses
+    ``perturbation_scale`` to shrink it, as recorded in EXPERIMENTS.md.
+    """
+
+    epochs: int = 1000
+    epsilon: Optional[float] = None
+    maxdrop: float = 0.5
+    perturbation_scale: float = 1.0
+    seed: int = 0
+
+
+def theoretical_epsilon(problem: NIPSProblem, config: FPLConfig) -> float:
+    """``sqrt(D / (R A γ))`` with the paper's constant choices."""
+    num_pairs = len(problem.pairs)
+    dimension = num_pairs * problem.num_nodes * problem.num_rules
+    total_items = sum(problem.items.values()) * problem.num_rules
+    bound = total_items * config.maxdrop
+    return math.sqrt(dimension / max(1e-12, bound * bound * config.epochs))
+
+
+class FPLAdapter:
+    """The online decision procedure.
+
+    Each epoch: perturb the historical average of observed match rates
+    (the paper's ``M_ik = avg(M_obs) + p_t / (t · T^items_ik)``
+    estimate), call ``Λ`` on the resulting weights, and deploy.  The
+    true rates are revealed afterwards via :meth:`observe`.
+    """
+
+    def __init__(self, problem: NIPSProblem, config: FPLConfig):
+        self.problem = problem
+        self.config = config
+        # Larger perturbation_scale => larger epsilon => *smaller*
+        # perturbation amplitude 1/epsilon.
+        self.epsilon = (
+            config.epsilon
+            if config.epsilon is not None
+            else theoretical_epsilon(problem, config) * config.perturbation_scale
+        )
+        self._rng = random.Random(config.seed)
+        self._observed_sum: MatchRates = {}
+        self.t = 0
+
+    def decide(self) -> Decision:
+        """Choose this epoch's deployment (Kalai–Vempala step 2)."""
+        self.t += 1
+        weights: Dict[DKey, float] = {}
+        amplitude = 1.0 / self.epsilon
+        for pair in self.problem.pairs:
+            items = self.problem.items[pair]
+            for rule in self.problem.rules:
+                mean_rate = (
+                    self._observed_sum.get((rule.index, pair), 0.0) / (self.t - 1)
+                    if self.t > 1
+                    else 0.0
+                )
+                for node in self.problem.paths[pair].nodes:
+                    perturbation = self._rng.random() * amplitude
+                    rate_estimate = mean_rate + perturbation / (self.t * items)
+                    weights[(rule.index, pair, node)] = (
+                        items * rate_estimate * self.problem.dist[pair][node]
+                    )
+        return solve_best_response(self.problem, weights)
+
+    def observe(self, rates: Mapping) -> None:
+        """Reveal the epoch's true match rates (end of epoch t)."""
+        for key, rate in rates.items():
+            self._observed_sum[key] = self._observed_sum.get(key, 0.0) + rate
+
+
+@dataclass
+class RegretPoint:
+    """Cumulative performance up to epoch ``t``."""
+
+    epoch: int
+    fpl_total: float
+    static_total: float
+
+    @property
+    def normalized_regret(self) -> float:
+        """``(static - fpl) / static`` — the Fig. 11 y-axis."""
+        if self.static_total <= 0:
+            return 0.0
+        return (self.static_total - self.fpl_total) / self.static_total
+
+
+@dataclass
+class OnlineRunResult:
+    """Full trajectory of one online-adaptation run."""
+
+    points: List[RegretPoint]
+    final_regret: float
+
+
+def run_online_adaptation(
+    problem: NIPSProblem,
+    rate_process: Callable[[int, Optional[Decision]], MatchRates],
+    config: FPLConfig,
+    report_every: int = 25,
+) -> OnlineRunResult:
+    """Run FPL against *rate_process* for ``config.epochs`` epochs.
+
+    *rate_process(t, last_decision)* returns epoch ``t``'s true match
+    rates; passing the previous decision lets adaptive adversaries
+    react.  At each reporting epoch the best *static* solution in
+    hindsight is recomputed (one LP on the summed states) and the
+    normalized cumulative regret recorded.
+    """
+    adapter = FPLAdapter(problem, config)
+    fpl_total = 0.0
+    state_sum: Dict[DKey, float] = {}
+    points: List[RegretPoint] = []
+    last_decision: Optional[Decision] = None
+
+    for epoch in range(1, config.epochs + 1):
+        decision = adapter.decide()
+        rates = rate_process(epoch, last_decision)
+        state = state_vector(problem, rates)
+        fpl_total += decision_value(state, decision)
+        for key, value in state.items():
+            state_sum[key] = state_sum.get(key, 0.0) + value
+        adapter.observe(rates)
+        last_decision = decision
+
+        if epoch % report_every == 0 or epoch == config.epochs:
+            static = solve_best_response(problem, state_sum)
+            static_total = decision_value(state_sum, static)
+            points.append(
+                RegretPoint(
+                    epoch=epoch, fpl_total=fpl_total, static_total=static_total
+                )
+            )
+
+    return OnlineRunResult(
+        points=points,
+        final_regret=points[-1].normalized_regret if points else 0.0,
+    )

@@ -1,0 +1,186 @@
+"""Online adaptation of the TCAM-constrained deployment (§3.5 future work).
+
+The paper's online evaluation removes the TCAM constraints because FPL
+needs an offline optimizer ``Λ``; it notes that "there are known
+extensions for the case where Λ is an approximation algorithm" (Kalai &
+Vempala; Ligett, Kakade & Kalai).  This module implements that
+extension: the perturbed-leader oracle is the Section 3.3
+rounding-plus-greedy-plus-LP pipeline, so each epoch's decision is a
+*feasible integral rule placement* under the TCAM budgets, and the
+regret guarantee degrades only by the oracle's approximation factor
+(α-regret).
+
+Because the oracle solves two LPs per epoch, this adapter is meant for
+the moderate instance sizes of the online evaluation, exactly like the
+paper's own preliminary study.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from ..nips.rules import MatchRateMatrix
+from .nips_milp import DKey, NIPSProblem, NIPSSolution, solve_relaxation
+from .online import MatchRates, decision_value, state_vector
+from .rounding import RoundingVariant, rounded_deployment
+
+
+def _rates_from_weights(
+    problem: NIPSProblem, weights: Mapping[DKey, float]
+) -> MatchRateMatrix:
+    """Convert perturbed state weights back into per-(rule, path) match
+    rates the MILP formulation consumes.
+
+    The objective weight of ``d_ikj`` is ``T^items_k * M_ik * Dist_ikj``;
+    dividing out volume and distance recovers an effective ``M_ik``
+    (averaged over the path's nodes for numerical robustness).
+    """
+    sums: Dict[Tuple[int, Tuple[str, str]], float] = {}
+    counts: Dict[Tuple[int, Tuple[str, str]], int] = {}
+    for (i, pair, node), weight in weights.items():
+        items = problem.items[pair]
+        dist = problem.dist[pair][node]
+        if items <= 0 or dist <= 0:
+            continue
+        key = (i, pair)
+        sums[key] = sums.get(key, 0.0) + weight / (items * dist)
+        counts[key] = counts.get(key, 0) + 1
+    rates = {
+        key: min(1.0, max(0.0, total / counts[key])) for key, total in sums.items()
+    }
+    return MatchRateMatrix(rates)
+
+
+def approximate_oracle(
+    problem: NIPSProblem,
+    weights: Mapping[DKey, float],
+    seed: int,
+    iterations: int = 2,
+) -> NIPSSolution:
+    """``Λ`` with TCAM constraints: rounding + greedy + LP re-solve on
+    the problem re-weighted by the (perturbed) historical state."""
+    import dataclasses
+
+    weighted = dataclasses.replace(
+        problem, match=_rates_from_weights(problem, weights)
+    )
+    relaxed = solve_relaxation(weighted)
+    best = None
+    rng = random.Random(seed)
+    for _ in range(iterations):
+        candidate = rounded_deployment(
+            weighted, RoundingVariant.GREEDY_LP, rng, relaxed=relaxed
+        )
+        if best is None or candidate.solution.objective > best.solution.objective:
+            best = candidate
+    assert best is not None
+    return best.solution
+
+
+@dataclass
+class TCAMFPLConfig:
+    """Parameters for the TCAM-constrained online adapter."""
+
+    epochs: int = 50
+    perturbation_amplitude: float = 1e-4  # added to the mean match rate
+    oracle_iterations: int = 2
+    seed: int = 0
+
+
+class TCAMOnlineAdapter:
+    """Follow-the-perturbed-(approximate-)leader over rule placements."""
+
+    def __init__(self, problem: NIPSProblem, config: TCAMFPLConfig):
+        self.problem = problem
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._observed_sum: Dict[Tuple[int, Tuple[str, str]], float] = {}
+        self.t = 0
+
+    def _perturbed_mean_rates(self) -> Dict[Tuple[int, Tuple[str, str]], float]:
+        rates = {}
+        for rule in self.problem.rules:
+            for pair in self.problem.pairs:
+                mean = (
+                    self._observed_sum.get((rule.index, pair), 0.0) / (self.t - 1)
+                    if self.t > 1
+                    else 0.0
+                )
+                perturbation = (
+                    self._rng.random() * self.config.perturbation_amplitude / self.t
+                )
+                rates[(rule.index, pair)] = min(1.0, mean + perturbation)
+        return rates
+
+    def decide(self) -> NIPSSolution:
+        """One epoch's feasible integral deployment."""
+        self.t += 1
+        rates = self._perturbed_mean_rates()
+        weights = state_vector(self.problem, rates)
+        return approximate_oracle(
+            self.problem,
+            weights,
+            seed=self.config.seed * 1000 + self.t,
+            iterations=self.config.oracle_iterations,
+        )
+
+    def observe(self, rates: Mapping) -> None:
+        """Reveal the epoch's true match rates."""
+        for key, rate in rates.items():
+            self._observed_sum[key] = self._observed_sum.get(key, 0.0) + rate
+
+
+@dataclass
+class TCAMOnlineResult:
+    """Outcome of a TCAM-constrained online run."""
+
+    fpl_total: float
+    static_total: float
+    per_epoch_feasible: bool
+
+    @property
+    def normalized_regret(self) -> float:
+        """``(static - fpl) / static`` against the approx oracle."""
+        if self.static_total <= 0:
+            return 0.0
+        return (self.static_total - self.fpl_total) / self.static_total
+
+
+def run_tcam_online(
+    problem: NIPSProblem,
+    rate_process: Callable[[int, Optional[Dict]], MatchRates],
+    config: TCAMFPLConfig,
+) -> TCAMOnlineResult:
+    """Run the TCAM-constrained adapter for ``config.epochs`` epochs.
+
+    The hindsight comparator uses the *same* approximate oracle on the
+    summed states (α-regret is measured against the best solution the
+    oracle itself could produce — the Ligett et al. setting).
+    """
+    adapter = TCAMOnlineAdapter(problem, config)
+    fpl_total = 0.0
+    state_sum: Dict[DKey, float] = {}
+    feasible = True
+
+    for epoch in range(1, config.epochs + 1):
+        decision = adapter.decide()
+        if problem.check_feasible(decision.e, decision.d):
+            feasible = False
+        rates = rate_process(epoch, None)
+        state = state_vector(problem, rates)
+        fpl_total += decision_value(state, decision.d)
+        for key, value in state.items():
+            state_sum[key] = state_sum.get(key, 0.0) + value
+        adapter.observe(rates)
+
+    static = approximate_oracle(
+        problem, state_sum, seed=config.seed + 7, iterations=config.oracle_iterations
+    )
+    static_total = decision_value(state_sum, static.d)
+    return TCAMOnlineResult(
+        fpl_total=fpl_total,
+        static_total=static_total,
+        per_epoch_feasible=feasible,
+    )

@@ -1,0 +1,51 @@
+"""Experiment drivers: one per paper table/figure (see DESIGN.md §4)."""
+
+from .config import repro_scale, scaled
+from .nids_network_wide import (
+    NetworkWideSetup,
+    PerNodeProfile,
+    fig6_module_scaling,
+    fig7_volume_scaling,
+    fig8_per_node_profile,
+    format_comparison_table,
+)
+from .nips_rounding import (
+    PipelineTiming,
+    RoundingStats,
+    build_problem_for_topology,
+    evaluate_point,
+    fig10_sweep,
+    format_fig10_table,
+    time_rounding_pipeline,
+)
+from .online_adaptation import (
+    OnlineEvaluation,
+    build_online_problem,
+    fig11_online_regret,
+    format_fig11_table,
+)
+from .timing import NIDSTimingResult, time_nids_lp
+
+__all__ = [
+    "NIDSTimingResult",
+    "NetworkWideSetup",
+    "OnlineEvaluation",
+    "PerNodeProfile",
+    "PipelineTiming",
+    "RoundingStats",
+    "build_online_problem",
+    "build_problem_for_topology",
+    "evaluate_point",
+    "fig10_sweep",
+    "fig11_online_regret",
+    "fig6_module_scaling",
+    "fig7_volume_scaling",
+    "fig8_per_node_profile",
+    "format_comparison_table",
+    "format_fig10_table",
+    "format_fig11_table",
+    "repro_scale",
+    "scaled",
+    "time_nids_lp",
+    "time_rounding_pipeline",
+]

@@ -1,0 +1,252 @@
+"""NIPS approximation evaluation (paper Fig. 10 and §3.4 timing).
+
+For each topology and rule-capacity constraint, draw match-rate
+scenarios, run the rounding-based algorithms (10 iterations each,
+keeping the best), and report the achieved objective as a fraction of
+the LP upper bound ``OptLP``.  The paper uses 100 rules with unit
+requirements, ``M_ik ~ U[0, 0.01]``, per-node capacities of 400k flows
+and 2M packets per 5-minute interval, 30 scenarios, and rule-capacity
+fractions 0.05–0.25 on Abilene (Internet2), Geant, and ASes 1221,
+1239, and 3257.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.nips_milp import (
+    DEFAULT_CPU_CAP_PACKETS,
+    DEFAULT_MEM_CAP_FLOWS,
+    NIPSProblem,
+    build_nips_problem,
+    solve_relaxation,
+)
+from ..core.rounding import RoundingVariant, best_of_roundings
+from ..nips.rules import MatchRateMatrix, unit_rules
+from ..topology.datasets import by_label
+from ..topology.graph import Topology
+from ..topology.routing import PathSet
+from .config import repro_scale, scaled
+
+#: Paper experiment constants.
+PAPER_NUM_RULES = 100
+PAPER_SCENARIOS = 30
+PAPER_ITERATIONS = 10
+PAPER_CAPACITY_FRACTIONS = (0.05, 0.10, 0.15, 0.20, 0.25)
+PAPER_TOPOLOGIES = ("Abilene", "Geant", "AS1221", "AS1239", "AS3257")
+PAPER_MATCH_HIGH = 0.01
+
+
+@dataclass
+class RoundingStats:
+    """Mean/min/max fraction-of-OptLP across scenarios (one Fig. 10 point)."""
+
+    topology: str
+    capacity_fraction: float
+    variant: RoundingVariant
+    mean: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def of(
+        cls,
+        topology: str,
+        capacity_fraction: float,
+        variant: RoundingVariant,
+        values: Sequence[float],
+    ) -> "RoundingStats":
+        return cls(
+            topology=topology,
+            capacity_fraction=capacity_fraction,
+            variant=variant,
+            mean=sum(values) / len(values),
+            minimum=min(values),
+            maximum=max(values),
+        )
+
+
+def build_problem_for_topology(
+    label: str,
+    match_seed: int,
+    capacity_fraction: float,
+    num_rules: int = PAPER_NUM_RULES,
+    match_high: float = PAPER_MATCH_HIGH,
+) -> NIPSProblem:
+    """One Fig. 10 problem instance: *label* topology, fresh ``M_ik``."""
+    topology = by_label(label).set_uniform_capacities(
+        cpu=DEFAULT_CPU_CAP_PACKETS,
+        mem=DEFAULT_MEM_CAP_FLOWS,
+        cam=capacity_fraction * num_rules,
+    )
+    rules = unit_rules(num_rules)
+    path_set = PathSet(topology)
+    pairs = [
+        (a, b)
+        for a in topology.node_names
+        for b in topology.node_names
+        if a != b
+    ]
+    match = MatchRateMatrix.uniform(
+        rules, pairs, random.Random(match_seed), high=match_high
+    )
+    return build_nips_problem(topology, rules, match, path_set=path_set)
+
+
+def evaluate_point(
+    label: str,
+    capacity_fraction: float,
+    variants: Sequence[RoundingVariant],
+    num_scenarios: Optional[int] = None,
+    iterations: Optional[int] = None,
+    num_rules: int = PAPER_NUM_RULES,
+    base_seed: int = 0,
+) -> List[RoundingStats]:
+    """One (topology, capacity) point of Fig. 10 for each variant."""
+    scenarios = (
+        num_scenarios if num_scenarios is not None else scaled(PAPER_SCENARIOS)
+    )
+    rounds = iterations if iterations is not None else scaled(PAPER_ITERATIONS, minimum=2)
+
+    fractions: Dict[RoundingVariant, List[float]] = {v: [] for v in variants}
+    for scenario in range(scenarios):
+        problem = build_problem_for_topology(
+            label,
+            match_seed=base_seed + 1000 + scenario,
+            capacity_fraction=capacity_fraction,
+            num_rules=num_rules,
+        )
+        relaxed = solve_relaxation(problem)
+        for variant in variants:
+            best = best_of_roundings(
+                problem,
+                variant,
+                iterations=rounds,
+                seed=base_seed + scenario,
+                relaxed=relaxed,
+            )
+            fractions[variant].append(best.fraction_of_lp)
+
+    return [
+        RoundingStats.of(label, capacity_fraction, variant, values)
+        for variant, values in fractions.items()
+    ]
+
+
+def fig10_sweep(
+    topologies: Sequence[str] = PAPER_TOPOLOGIES,
+    capacity_fractions: Sequence[float] = PAPER_CAPACITY_FRACTIONS,
+    variants: Sequence[RoundingVariant] = (
+        RoundingVariant.LP,
+        RoundingVariant.GREEDY_LP,
+    ),
+    num_scenarios: Optional[int] = None,
+    iterations: Optional[int] = None,
+    num_rules: Optional[int] = None,
+) -> List[RoundingStats]:
+    """The full Fig. 10 sweep.
+
+    At reduced ``REPRO_SCALE`` the rule count is lowered for the large
+    AS topologies (their relaxations grow with #rules × #paths); the
+    fraction-of-OptLP metric is insensitive to the rule count, so the
+    figure's shape is preserved (see EXPERIMENTS.md).
+    """
+    results: List[RoundingStats] = []
+    for label in topologies:
+        if num_rules is not None:
+            rules = num_rules
+        else:
+            rules = PAPER_NUM_RULES
+            if repro_scale() < 1.0 and label.upper().startswith("AS"):
+                rules = scaled(PAPER_NUM_RULES, minimum=20)
+        for fraction in capacity_fractions:
+            results.extend(
+                evaluate_point(
+                    label,
+                    fraction,
+                    variants,
+                    num_scenarios=num_scenarios,
+                    iterations=iterations,
+                    num_rules=rules,
+                )
+            )
+    return results
+
+
+def format_fig10_table(results: Sequence[RoundingStats]) -> str:
+    """Render Fig. 10 points as an aligned text table."""
+    header = (
+        f"{'topology':<10} {'cap':>5} {'variant':<18}"
+        f" {'mean':>7} {'min':>7} {'max':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for stat in results:
+        lines.append(
+            f"{stat.topology:<10} {stat.capacity_fraction:>5.2f}"
+            f" {stat.variant.value:<18} {stat.mean:>7.3f}"
+            f" {stat.minimum:>7.3f} {stat.maximum:>7.3f}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass
+class PipelineTiming:
+    """§3.4 optimization-time measurement for one topology size."""
+
+    num_nodes: int
+    relaxation_seconds: float
+    rounding_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Relaxation plus rounding wall-clock."""
+        return self.relaxation_seconds + self.rounding_seconds
+
+
+def time_rounding_pipeline(
+    num_nodes: int = 50,
+    num_rules: int = PAPER_NUM_RULES,
+    capacity_fraction: float = 0.10,
+    iterations: int = 1,
+    seed: int = 0,
+) -> PipelineTiming:
+    """Wall-clock of the full pipeline on a *num_nodes* topology.
+
+    The paper reports ~220 s on a 50-node topology with CPLEX; most of
+    the time goes to the two LP solves, as here.
+    """
+    from ..topology.datasets import random_pop_topology
+
+    topology = random_pop_topology(num_nodes, seed=seed).set_uniform_capacities(
+        cpu=DEFAULT_CPU_CAP_PACKETS,
+        mem=DEFAULT_MEM_CAP_FLOWS,
+        cam=capacity_fraction * num_rules,
+    )
+    rules = unit_rules(num_rules)
+    pairs = [
+        (a, b) for a in topology.node_names for b in topology.node_names if a != b
+    ]
+    match = MatchRateMatrix.uniform(rules, pairs, random.Random(seed))
+    problem = build_nips_problem(topology, rules, match)
+
+    started = time.perf_counter()
+    relaxed = solve_relaxation(problem)
+    relax_elapsed = time.perf_counter() - started
+
+    started = time.perf_counter()
+    best_of_roundings(
+        problem,
+        RoundingVariant.GREEDY_LP,
+        iterations=iterations,
+        seed=seed,
+        relaxed=relaxed,
+    )
+    rounding_elapsed = time.perf_counter() - started
+    return PipelineTiming(
+        num_nodes=num_nodes,
+        relaxation_seconds=relax_elapsed,
+        rounding_seconds=rounding_elapsed,
+    )

@@ -1,0 +1,140 @@
+"""Hash-key extraction for the coordinated-NIDS sampling checks.
+
+The hash in the per-packet check (paper Fig. 3) "may be computed over
+different fields in the packet header depending on the analysis":
+
+* flow-based analysis hashes the unidirectional 5-tuple;
+* session-based analysis hashes a bidirectional 5-tuple "such that the
+  src/dst IP are consistent in both directions";
+* per-source analysis (e.g. scan detection) hashes the source address;
+* per-destination analysis (e.g. SYN-flood detection) hashes the
+  destination address.
+
+Each extractor serializes the relevant fields into a canonical byte
+string; :func:`key_hash_unit` then maps it into ``[0, 1)`` with the Bob
+hash.  Addresses are modeled as opaque integers (host identifiers), so
+the substrate works equally for IPv4 addresses and synthetic host ids.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from typing import Tuple
+
+from .bobhash import hash_unit
+
+_FLOW_STRUCT = struct.Struct(">BQQHHB")
+_ADDR_STRUCT = struct.Struct(">BQ")
+_PAIR_STRUCT = struct.Struct(">BQQ")
+
+# Domain-separation tags: keys of different aggregations must never
+# collide byte-wise, so each key is prefixed with its aggregation tag.
+_TAG_FLOW = 1
+_TAG_SESSION = 2
+_TAG_SOURCE = 3
+_TAG_DESTINATION = 4
+_TAG_HOST_PAIR = 5
+
+
+class Aggregation(enum.Enum):
+    """Unit of traffic aggregation an analysis class operates on.
+
+    Determines both which fields are hashed for sampling decisions and
+    which item count (``T^items``) drives the memory-load model.
+    """
+
+    FLOW = "flow"
+    SESSION = "session"
+    SOURCE = "source"
+    DESTINATION = "destination"
+    HOST_PAIR = "host_pair"
+
+
+def flow_key(src: int, dst: int, sport: int, dport: int, proto: int) -> bytes:
+    """Canonical bytes for the unidirectional 5-tuple."""
+    return _FLOW_STRUCT.pack(
+        _TAG_FLOW, src, dst, sport & 0xFFFF, dport & 0xFFFF, proto & 0xFF
+    )
+
+
+def session_key(src: int, dst: int, sport: int, dport: int, proto: int) -> bytes:
+    """Canonical bytes for the bidirectional 5-tuple.
+
+    Both directions of a connection must hash identically so that the
+    same node analyzes the full session.  We orient the tuple so the
+    numerically smaller ``(addr, port)`` endpoint comes first.
+    """
+    if (src, sport) <= (dst, dport):
+        lo_addr, lo_port, hi_addr, hi_port = src, sport, dst, dport
+    else:
+        lo_addr, lo_port, hi_addr, hi_port = dst, dport, src, sport
+    return _FLOW_STRUCT.pack(
+        _TAG_SESSION, lo_addr, hi_addr, lo_port & 0xFFFF, hi_port & 0xFFFF, proto & 0xFF
+    )
+
+
+def source_key(src: int) -> bytes:
+    """Canonical bytes for per-source aggregation (scan detection)."""
+    return _ADDR_STRUCT.pack(_TAG_SOURCE, src)
+
+
+def destination_key(dst: int) -> bytes:
+    """Canonical bytes for per-destination aggregation (flood detection)."""
+    return _ADDR_STRUCT.pack(_TAG_DESTINATION, dst)
+
+
+def host_pair_key(src: int, dst: int) -> bytes:
+    """Canonical bytes for the unordered host pair."""
+    lo, hi = (src, dst) if src <= dst else (dst, src)
+    return _PAIR_STRUCT.pack(_TAG_HOST_PAIR, lo, hi)
+
+
+def key_for(
+    aggregation: Aggregation,
+    src: int,
+    dst: int,
+    sport: int,
+    dport: int,
+    proto: int,
+) -> bytes:
+    """Extract the canonical hash key for *aggregation* from 5-tuple fields."""
+    if aggregation is Aggregation.FLOW:
+        return flow_key(src, dst, sport, dport, proto)
+    if aggregation is Aggregation.SESSION:
+        return session_key(src, dst, sport, dport, proto)
+    if aggregation is Aggregation.SOURCE:
+        return source_key(src)
+    if aggregation is Aggregation.DESTINATION:
+        return destination_key(dst)
+    if aggregation is Aggregation.HOST_PAIR:
+        return host_pair_key(src, dst)
+    raise ValueError(f"unknown aggregation {aggregation!r}")
+
+
+def key_hash_unit(
+    aggregation: Aggregation,
+    src: int,
+    dst: int,
+    sport: int,
+    dport: int,
+    proto: int,
+    seed: int = 0,
+) -> float:
+    """``HASH(pkt, i)`` — map the class-appropriate key into ``[0, 1)``.
+
+    *seed* is the administrator's private hash key (Section 3.2's
+    defense against adversaries crafting traffic to evade sampling).
+    """
+    return hash_unit(key_for(aggregation, src, dst, sport, dport, proto), seed)
+
+
+#: The connection-record hash fields our Bro extension precomputes
+#: (Section 2.3): one per aggregation the policy scripts consult, so a
+#: policy-stage check is a table lookup instead of a recomputation.
+RECORD_HASH_FIELDS: Tuple[Aggregation, ...] = (
+    Aggregation.FLOW,
+    Aggregation.SESSION,
+    Aggregation.SOURCE,
+    Aggregation.DESTINATION,
+)

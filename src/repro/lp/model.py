@@ -1,0 +1,372 @@
+"""A small linear-programming modeling layer.
+
+The paper's formulations (the NIDS load-balancing LP of Section 2.2 and
+the NIPS MILP of Section 3.2) are written against named variables like
+``d[i,k,j]`` and ``e[i,j]``.  This module provides that vocabulary —
+variables, linear expressions, and constraints assembled by operator
+overloading — and compiles a finished model into the sparse matrix form
+consumed by :mod:`repro.lp.solver`.
+
+The paper used CPLEX; we target ``scipy.optimize.linprog`` (HiGHS),
+which solves the identical programs to optimality.  Only construction
+lives here — solving is the backend's job, keeping the model inspectable
+and the backend swappable.
+
+Example
+-------
+>>> lp = LinearProgram("toy")
+>>> x = lp.add_variable("x", ub=4.0)
+>>> y = lp.add_variable("y", ub=4.0)
+>>> lp.add_constraint(x + y <= 5.0, name="budget")
+>>> lp.set_objective(3.0 * x + 2.0 * y, sense=Sense.MAXIMIZE)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+
+class Sense(enum.Enum):
+    """Optimization direction."""
+
+    MINIMIZE = "min"
+    MAXIMIZE = "max"
+
+
+class Relation(enum.Enum):
+    """Constraint relation."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+class LinExpr:
+    """An affine expression ``sum(coef * var) + constant``.
+
+    Immutable from the caller's perspective: every operator returns a
+    new expression.  Variables are referenced by integer index into the
+    owning :class:`LinearProgram`.
+    """
+
+    __slots__ = ("coefficients", "constant")
+
+    def __init__(self, coefficients: Optional[Mapping[int, float]] = None, constant: float = 0.0):
+        self.coefficients: Dict[int, float] = dict(coefficients or {})
+        self.constant = float(constant)
+
+    def copy(self) -> "LinExpr":
+        """Shallow copy (fresh coefficient dict)."""
+        return LinExpr(self.coefficients, self.constant)
+
+    # -- arithmetic -------------------------------------------------------
+    def _added(self, other: Union["LinExpr", "Variable", Number], sign: float) -> "LinExpr":
+        result = self.copy()
+        if isinstance(other, Variable):
+            other = other.as_expr()
+        if isinstance(other, LinExpr):
+            for index, coef in other.coefficients.items():
+                result.coefficients[index] = result.coefficients.get(index, 0.0) + sign * coef
+            result.constant += sign * other.constant
+        elif isinstance(other, (int, float)):
+            result.constant += sign * other
+        else:
+            return NotImplemented
+        return result
+
+    def __add__(self, other):
+        return self._added(other, 1.0)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._added(other, -1.0)
+
+    def __rsub__(self, other):
+        return (-self)._added(other, 1.0)
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr({i: -c for i, c in self.coefficients.items()}, -self.constant)
+
+    def __mul__(self, factor: Number) -> "LinExpr":
+        if not isinstance(factor, (int, float)):
+            return NotImplemented
+        return LinExpr(
+            {i: c * factor for i, c in self.coefficients.items()}, self.constant * factor
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, divisor: Number) -> "LinExpr":
+        if not isinstance(divisor, (int, float)):
+            return NotImplemented
+        return self * (1.0 / divisor)
+
+    # -- relations --------------------------------------------------------
+    def __le__(self, other) -> "Constraint":
+        return Constraint(self - other, Relation.LE)
+
+    def __ge__(self, other) -> "Constraint":
+        return Constraint(self - other, Relation.GE)
+
+    def equals(self, other) -> "Constraint":
+        """Build an equality constraint (``==`` is kept for identity)."""
+        return Constraint(self - other, Relation.EQ)
+
+    def evaluate(self, values: Sequence[float]) -> float:
+        """Value of the expression under a variable assignment."""
+        return self.constant + sum(coef * values[index] for index, coef in self.coefficients.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        terms = " + ".join(f"{c:g}*v{i}" for i, c in sorted(self.coefficients.items()))
+        return f"LinExpr({terms or '0'} + {self.constant:g})"
+
+
+@dataclass(frozen=True)
+class Variable:
+    """Handle to a decision variable inside a :class:`LinearProgram`."""
+
+    program: "LinearProgram" = field(repr=False, compare=False)
+    index: int
+    name: str
+
+    def as_expr(self) -> LinExpr:
+        """This variable as a one-term expression."""
+        return LinExpr({self.index: 1.0})
+
+    # Delegate arithmetic/relations to LinExpr so formulas read naturally.
+    def __add__(self, other):
+        return self.as_expr() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self.as_expr() - other
+
+    def __rsub__(self, other):
+        return other - self.as_expr()
+
+    def __neg__(self):
+        return -self.as_expr()
+
+    def __mul__(self, factor):
+        return self.as_expr() * factor
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, divisor):
+        return self.as_expr() / divisor
+
+    def __le__(self, other):
+        return self.as_expr() <= other
+
+    def __ge__(self, other):
+        return self.as_expr() >= other
+
+    def equals(self, other):
+        return self.as_expr().equals(other)
+
+
+@dataclass
+class Constraint:
+    """A normalized constraint ``expr (<=|>=|==) 0``."""
+
+    expression: LinExpr
+    relation: Relation
+    name: str = ""
+
+    def slack(self, values: Sequence[float]) -> float:
+        """Signed slack; non-negative iff the constraint is satisfied.
+
+        ``LE``: slack = -lhs; ``GE``: slack = lhs; ``EQ``: slack =
+        -|lhs| (zero exactly at feasibility).
+        """
+        lhs = self.expression.evaluate(values)
+        if self.relation is Relation.LE:
+            return -lhs
+        if self.relation is Relation.GE:
+            return lhs
+        return -abs(lhs)
+
+
+def linear_sum(terms: Iterable[Union[LinExpr, Variable, Number]]) -> LinExpr:
+    """Sum an iterable of expressions/variables/numbers into one LinExpr.
+
+    Builds the accumulator in place, so summing the thousands of
+    ``d_ikj`` terms in a load constraint stays linear-time.
+    """
+    total = LinExpr()
+    for term in terms:
+        if isinstance(term, Variable):
+            index = term.index
+            total.coefficients[index] = total.coefficients.get(index, 0.0) + 1.0
+        elif isinstance(term, LinExpr):
+            for index, coef in term.coefficients.items():
+                total.coefficients[index] = total.coefficients.get(index, 0.0) + coef
+            total.constant += term.constant
+        else:
+            total.constant += float(term)
+    return total
+
+
+class LinearProgram:
+    """A named LP: variables with bounds, constraints, and an objective."""
+
+    def __init__(self, name: str = "lp"):
+        self.name = name
+        self.variable_names: List[str] = []
+        self.lower_bounds: List[float] = []
+        self.upper_bounds: List[Optional[float]] = []
+        self.constraints: List[Constraint] = []
+        self.objective: LinExpr = LinExpr()
+        self.sense: Sense = Sense.MINIMIZE
+        self.binary_indices: List[int] = []
+        self._names: Dict[str, int] = {}
+
+    # -- construction -----------------------------------------------------
+    def add_variable(
+        self,
+        name: str,
+        lb: float = 0.0,
+        ub: Optional[float] = None,
+        binary: bool = False,
+    ) -> Variable:
+        """Add a decision variable and return its handle.
+
+        ``binary=True`` marks the variable integral-in-{0,1}; the pure
+        LP backend treats it as ``0 <= x <= 1`` (the LP relaxation) and
+        :mod:`repro.lp.milp` enforces integrality by branch and bound.
+        """
+        if name in self._names:
+            raise ValueError(f"duplicate variable name {name!r}")
+        index = len(self.variable_names)
+        self.variable_names.append(name)
+        if binary:
+            lb, ub = 0.0, 1.0
+            self.binary_indices.append(index)
+        self.lower_bounds.append(float(lb))
+        self.upper_bounds.append(None if ub is None else float(ub))
+        self._names[name] = index
+        return Variable(self, index, name)
+
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        """Register a constraint built via expression relations."""
+        if not isinstance(constraint, Constraint):
+            raise TypeError("add_constraint expects a Constraint (use <=, >= or .equals)")
+        if name:
+            constraint.name = name
+        self.constraints.append(constraint)
+        return constraint
+
+    def set_objective(self, expression: Union[LinExpr, Variable], sense: Sense) -> None:
+        """Set the objective expression and direction."""
+        if isinstance(expression, Variable):
+            expression = expression.as_expr()
+        self.objective = expression
+        self.sense = sense
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def num_variables(self) -> int:
+        """Number of decision variables."""
+        return len(self.variable_names)
+
+    @property
+    def num_constraints(self) -> int:
+        """Number of registered constraints."""
+        return len(self.constraints)
+
+    def variable_by_name(self, name: str) -> Variable:
+        """Look up a previously added variable."""
+        return Variable(self, self._names[name], name)
+
+    def is_feasible(self, values: Sequence[float], tol: float = 1e-6) -> bool:
+        """Check a candidate point against bounds and all constraints."""
+        if len(values) != self.num_variables:
+            return False
+        for index, value in enumerate(values):
+            if value < self.lower_bounds[index] - tol:
+                return False
+            upper = self.upper_bounds[index]
+            if upper is not None and value > upper + tol:
+                return False
+        return all(c.slack(values) >= -tol for c in self.constraints)
+
+    def objective_value(self, values: Sequence[float]) -> float:
+        """Objective at a candidate point (in the model's own sense)."""
+        return self.objective.evaluate(values)
+
+    def compile(self) -> "CompiledLP":
+        """Lower the model to sparse matrix form for the solver backend."""
+        from scipy.sparse import csr_matrix  # deferred: keep model importable alone
+
+        num_vars = self.num_variables
+        cost = [0.0] * num_vars
+        for index, coef in self.objective.coefficients.items():
+            cost[index] = coef
+        sign = 1.0 if self.sense is Sense.MINIMIZE else -1.0
+        cost = [sign * c for c in cost]
+
+        ub_rows: List[Tuple[int, int, float]] = []
+        ub_rhs: List[float] = []
+        ub_names: List[str] = []
+        eq_rows: List[Tuple[int, int, float]] = []
+        eq_rhs: List[float] = []
+        eq_names: List[str] = []
+        for constraint in self.constraints:
+            expr = constraint.expression
+            if constraint.relation is Relation.EQ:
+                row = len(eq_rhs)
+                for index, coef in expr.coefficients.items():
+                    eq_rows.append((row, index, coef))
+                eq_rhs.append(-expr.constant)
+                eq_names.append(constraint.name)
+            else:
+                flip = 1.0 if constraint.relation is Relation.LE else -1.0
+                row = len(ub_rhs)
+                for index, coef in expr.coefficients.items():
+                    ub_rows.append((row, index, flip * coef))
+                ub_rhs.append(-flip * expr.constant)
+                ub_names.append(constraint.name)
+
+        def build(rows: List[Tuple[int, int, float]], count: int):
+            if count == 0:
+                return None
+            data = [entry[2] for entry in rows]
+            row_idx = [entry[0] for entry in rows]
+            col_idx = [entry[1] for entry in rows]
+            return csr_matrix((data, (row_idx, col_idx)), shape=(count, num_vars))
+
+        bounds = list(zip(self.lower_bounds, self.upper_bounds))
+        return CompiledLP(
+            cost=cost,
+            a_ub=build(ub_rows, len(ub_rhs)),
+            b_ub=ub_rhs,
+            a_eq=build(eq_rows, len(eq_rhs)),
+            b_eq=eq_rhs,
+            bounds=bounds,
+            maximize=self.sense is Sense.MAXIMIZE,
+            variable_names=list(self.variable_names),
+            ineq_names=ub_names,
+            eq_names=eq_names,
+        )
+
+
+@dataclass
+class CompiledLP:
+    """Sparse matrix form of a :class:`LinearProgram` (solver input)."""
+
+    cost: List[float]
+    a_ub: object
+    b_ub: List[float]
+    a_eq: object
+    b_eq: List[float]
+    bounds: List[Tuple[float, Optional[float]]]
+    maximize: bool
+    variable_names: List[str]
+    ineq_names: List[str]
+    eq_names: List[str]

@@ -1,0 +1,176 @@
+"""LP solver backend over ``scipy.optimize.linprog`` (HiGHS).
+
+The paper solved its linear programs with CPLEX; HiGHS solves the same
+programs to optimality, so every downstream quantity (optimal loads,
+``d*`` fractions, LP upper bounds for the rounding analysis) is
+preserved.  This module is the only place solver specifics live.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass
+from typing import Dict, List
+
+from scipy.optimize import linprog
+
+from .model import LinearProgram, Variable
+
+
+class SolveStatus(enum.Enum):
+    """Normalized solver outcome."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ERROR = "error"
+
+
+class SolverError(RuntimeError):
+    """Raised when a solve that must succeed does not."""
+
+
+@dataclass
+class LPSolution:
+    """Result of one LP solve.
+
+    ``objective`` is reported in the model's own sense (a maximization
+    model reports the maximum), regardless of the internal sign flip
+    used to feed ``linprog``.
+
+    ``ineq_duals`` / ``eq_duals`` are the constraint marginals (dual
+    values) in the order the model's inequality/equality constraints
+    were added — the sensitivity of the objective to relaxing each
+    constraint, used by the provisioning analyses.  Signs follow the
+    model's own sense.
+    """
+
+    status: SolveStatus
+    objective: float
+    values: List[float]
+    variable_names: List[str]
+    solve_seconds: float
+    message: str = ""
+    ineq_duals: List[float] = None  # type: ignore[assignment]
+    eq_duals: List[float] = None  # type: ignore[assignment]
+    ineq_names: List[str] = None  # type: ignore[assignment]
+    eq_names: List[str] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.ineq_duals is None:
+            self.ineq_duals = []
+        if self.eq_duals is None:
+            self.eq_duals = []
+        if self.ineq_names is None:
+            self.ineq_names = []
+        if self.eq_names is None:
+            self.eq_names = []
+
+    def dual_by_name(self, name: str) -> float:
+        """Dual value of the (uniquely) named constraint."""
+        if name in self.ineq_names:
+            return self.ineq_duals[self.ineq_names.index(name)]
+        if name in self.eq_names:
+            return self.eq_duals[self.eq_names.index(name)]
+        raise KeyError(f"no constraint named {name!r}")
+
+    @property
+    def optimal(self) -> bool:
+        """Whether the solve reached proven optimality."""
+        return self.status is SolveStatus.OPTIMAL
+
+    def value(self, variable: Variable) -> float:
+        """Value of *variable* in the solution."""
+        return self.values[variable.index]
+
+    def value_by_name(self, name: str) -> float:
+        """Value of the variable called *name*."""
+        return self.values[self.variable_names.index(name)]
+
+    def as_dict(self) -> Dict[str, float]:
+        """Full assignment as ``{name: value}`` (for logs and tests)."""
+        return dict(zip(self.variable_names, self.values))
+
+
+def solve(program: LinearProgram, method: str = "highs") -> LPSolution:
+    """Solve *program* and return an :class:`LPSolution`.
+
+    Never raises for infeasible/unbounded models — callers branch on
+    ``solution.status``.  Use :func:`solve_or_raise` when the model is
+    known-feasible by construction (e.g. the NIDS coverage LP, which
+    always admits ``d_ikj = 1/|P_ik|``).
+    """
+    compiled = program.compile()
+    started = time.perf_counter()
+    try:
+        result = linprog(
+            c=compiled.cost,
+            A_ub=compiled.a_ub,
+            b_ub=compiled.b_ub if compiled.b_ub else None,
+            A_eq=compiled.a_eq,
+            b_eq=compiled.b_eq if compiled.b_eq else None,
+            bounds=compiled.bounds,
+            method=method,
+        )
+    except ValueError as exc:
+        return LPSolution(
+            status=SolveStatus.ERROR,
+            objective=float("nan"),
+            values=[],
+            variable_names=compiled.variable_names,
+            solve_seconds=time.perf_counter() - started,
+            message=str(exc),
+        )
+    elapsed = time.perf_counter() - started
+
+    if result.status == 0:
+        status = SolveStatus.OPTIMAL
+    elif result.status == 2:
+        status = SolveStatus.INFEASIBLE
+    elif result.status == 3:
+        status = SolveStatus.UNBOUNDED
+    else:
+        status = SolveStatus.ERROR
+
+    objective = float("nan")
+    values: List[float] = []
+    if result.x is not None:
+        values = [float(v) for v in result.x]
+        objective = program.objective_value(values)
+
+    # HiGHS reports marginals for the *internal* (sign-flipped for
+    # maximization) problem; flip back so duals follow the model sense.
+    sign = -1.0 if compiled.maximize else 1.0
+    ineq_duals: List[float] = []
+    eq_duals: List[float] = []
+    ineqlin = getattr(result, "ineqlin", None)
+    if ineqlin is not None and getattr(ineqlin, "marginals", None) is not None:
+        ineq_duals = [sign * float(v) for v in ineqlin.marginals]
+    eqlin = getattr(result, "eqlin", None)
+    if eqlin is not None and getattr(eqlin, "marginals", None) is not None:
+        eq_duals = [sign * float(v) for v in eqlin.marginals]
+
+    return LPSolution(
+        status=status,
+        objective=objective,
+        values=values,
+        variable_names=compiled.variable_names,
+        solve_seconds=elapsed,
+        message=getattr(result, "message", ""),
+        ineq_duals=ineq_duals,
+        eq_duals=eq_duals,
+        ineq_names=compiled.ineq_names,
+        eq_names=compiled.eq_names,
+    )
+
+
+def solve_or_raise(program: LinearProgram, method: str = "highs") -> LPSolution:
+    """Solve *program*, raising :class:`SolverError` unless optimal."""
+    solution = solve(program, method=method)
+    if not solution.optimal:
+        raise SolverError(
+            f"LP {program.name!r} not solved to optimality: "
+            f"{solution.status.value} ({solution.message})"
+        )
+    return solution

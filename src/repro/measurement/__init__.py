@@ -1,0 +1,23 @@
+"""Measurement substrate: NetFlow-style flow export, SNMP-style link
+loads, and planning-input estimation from both."""
+
+from .estimation import EstimationModel, estimate_units
+from .flows import FlowExporter, FlowRecord, TrafficReport
+from .snmp import (
+    LinkLoadCollector,
+    LinkLoads,
+    estimate_traffic_matrix,
+    matrix_error,
+)
+
+__all__ = [
+    "EstimationModel",
+    "FlowExporter",
+    "FlowRecord",
+    "LinkLoadCollector",
+    "LinkLoads",
+    "TrafficReport",
+    "estimate_traffic_matrix",
+    "estimate_units",
+    "matrix_error",
+]

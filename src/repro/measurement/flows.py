@@ -1,0 +1,142 @@
+"""Flow records and exporters (NetFlow-style measurement substrate).
+
+The paper's optimization inputs come from operational measurement:
+"ISPs typically collect traffic reports (e.g., NetFlow, SNMP) every few
+minutes, and since NIDS configurations would typically be driven from
+such reports, we envision needing to reconfigure NIDS with roughly the
+same frequency."
+
+This module provides that feed: a :class:`FlowRecord` (the NetFlow v5
+fields the planner needs), a :class:`FlowExporter` that turns observed
+sessions into (optionally *sampled*) flow records — real routers export
+1-in-N sampled NetFlow — and report assembly into the per-pair volume
+summaries the planner consumes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..traffic.session import Session
+
+Pair = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One exported flow record (NetFlow-v5-like field subset)."""
+
+    src: int
+    dst: int
+    sport: int
+    dport: int
+    proto: int
+    packets: int
+    octets: int
+    first: float
+    last: float
+    ingress: str
+    egress: str
+
+    @property
+    def pair(self) -> Pair:
+        """The record's (ingress, egress) pair."""
+        return (self.ingress, self.egress)
+
+
+@dataclass
+class TrafficReport:
+    """Aggregated measurement for one reporting interval."""
+
+    interval_seconds: float
+    sampling_rate: float
+    pair_flows: Dict[Pair, float] = field(default_factory=dict)
+    pair_packets: Dict[Pair, float] = field(default_factory=dict)
+    pair_port_flows: Dict[Tuple[Pair, int], float] = field(default_factory=dict)
+    pair_port_packets: Dict[Tuple[Pair, int], float] = field(default_factory=dict)
+
+    @property
+    def total_flows(self) -> float:
+        """Estimated flows across all pairs."""
+        return sum(self.pair_flows.values())
+
+    @property
+    def total_packets(self) -> float:
+        """Estimated packets across all pairs."""
+        return sum(self.pair_packets.values())
+
+    def port_share(self, pair: Pair, port: int) -> float:
+        """Estimated fraction of the pair's flows on *port*."""
+        flows = self.pair_flows.get(pair, 0.0)
+        if flows <= 0:
+            return 0.0
+        return self.pair_port_flows.get((pair, port), 0.0) / flows
+
+
+class FlowExporter:
+    """Turn observed sessions into sampled flow records.
+
+    ``sampling_rate=1/N`` models packet-sampled NetFlow's flow-level
+    effect approximately: each flow is exported independently with the
+    configured probability and the report scales counts back up by
+    ``1/sampling_rate`` — the standard inversion estimator.
+    """
+
+    def __init__(self, sampling_rate: float = 1.0, seed: int = 0):
+        if not 0.0 < sampling_rate <= 1.0:
+            raise ValueError("sampling_rate must be in (0, 1]")
+        self.sampling_rate = sampling_rate
+        self._rng = random.Random(seed)
+
+    def export(self, sessions: Iterable[Session]) -> List[FlowRecord]:
+        """Export (possibly sampled) flow records for *sessions*."""
+        records = []
+        for session in sessions:
+            if self.sampling_rate < 1.0 and self._rng.random() >= self.sampling_rate:
+                continue
+            t = session.tuple
+            records.append(
+                FlowRecord(
+                    src=t.src,
+                    dst=t.dst,
+                    sport=t.sport,
+                    dport=t.dport,
+                    proto=t.proto,
+                    packets=session.num_packets,
+                    octets=session.num_bytes,
+                    first=session.start_time,
+                    last=session.start_time + 0.01 * session.num_packets,
+                    ingress=session.ingress,
+                    egress=session.egress,
+                )
+            )
+        return records
+
+    def build_report(
+        self, records: Sequence[FlowRecord], interval_seconds: float = 300.0
+    ) -> TrafficReport:
+        """Assemble a per-pair traffic report, inverting the sampling."""
+        scale = 1.0 / self.sampling_rate
+        report = TrafficReport(
+            interval_seconds=interval_seconds, sampling_rate=self.sampling_rate
+        )
+        for record in records:
+            pair = record.pair
+            report.pair_flows[pair] = report.pair_flows.get(pair, 0.0) + scale
+            report.pair_packets[pair] = (
+                report.pair_packets.get(pair, 0.0) + scale * record.packets
+            )
+            key = (pair, record.dport)
+            report.pair_port_flows[key] = report.pair_port_flows.get(key, 0.0) + scale
+            report.pair_port_packets[key] = (
+                report.pair_port_packets.get(key, 0.0) + scale * record.packets
+            )
+        return report
+
+    def measure(
+        self, sessions: Iterable[Session], interval_seconds: float = 300.0
+    ) -> TrafficReport:
+        """Convenience: export + assemble in one step."""
+        return self.build_report(self.export(sessions), interval_seconds)

@@ -1,0 +1,174 @@
+"""Network-wide deployment emulation (paper Section 2.4).
+
+Reproduces the paper's methodology: "From a network-wide trace, we
+generate traces that each node sees.  For the coordinated case, this
+includes both traffic originating/terminating at a node and transit
+traffic.  For the edge-only case, these consist of traffic
+originating/terminating at each node."  Each node's trace is then run
+through a simulated Bro instance — unmodified for the edge-only
+deployment, coordination-enabled (approach 2, checks as early as
+possible) for the coordinated deployment — and per-node CPU and memory
+footprints are reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..core.nids_deployment import NIDSDeployment
+from ..traffic.generator import TrafficGenerator
+from ..traffic.session import Session
+from .engine import BroInstance, BroMode, InstanceReport
+from .modules.base import Alert, ModuleSpec
+from .resources import CostModel, DEFAULT_COST_MODEL
+
+
+@dataclass
+class DeploymentUsage:
+    """Per-node resource footprints for one deployment style."""
+
+    label: str
+    reports: Dict[str, InstanceReport]
+
+    @property
+    def nodes(self) -> List[str]:
+        """Node names covered by this deployment run."""
+        return list(self.reports)
+
+    def cpu(self, node: str) -> float:
+        """CPU footprint of *node*."""
+        return self.reports[node].cpu
+
+    def mem_bytes(self, node: str) -> float:
+        """Memory footprint of *node* in bytes."""
+        return self.reports[node].mem_bytes
+
+    def mem_mb(self, node: str) -> float:
+        """Memory footprint of *node* in mebibytes."""
+        return self.reports[node].mem_bytes / (1024.0 * 1024.0)
+
+    @property
+    def max_cpu(self) -> float:
+        """Maximum per-node CPU footprint (the figures' y-axis)."""
+        return max(r.cpu for r in self.reports.values())
+
+    @property
+    def max_mem_bytes(self) -> float:
+        """Maximum per-node memory footprint in bytes."""
+        return max(r.mem_bytes for r in self.reports.values())
+
+    @property
+    def max_mem_mb(self) -> float:
+        """Maximum per-node memory footprint in mebibytes."""
+        return self.max_mem_bytes / (1024.0 * 1024.0)
+
+    def hottest_cpu_node(self) -> str:
+        """Node with the largest CPU footprint."""
+        return max(self.reports, key=lambda n: self.reports[n].cpu)
+
+    def hottest_mem_node(self) -> str:
+        """Node with the largest memory footprint."""
+        return max(self.reports, key=lambda n: self.reports[n].mem_bytes)
+
+    def alert_keys(self) -> Set[Tuple[str, str]]:
+        """Aggregate deduplicated alerts across all nodes."""
+        keys: Set[Tuple[str, str]] = set()
+        for report in self.reports.values():
+            keys.update(alert.key() for alert in report.alerts)
+        return keys
+
+
+def emulate_edge(
+    generator: TrafficGenerator,
+    sessions: Sequence[Session],
+    modules: Sequence[ModuleSpec],
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    run_detectors: bool = False,
+) -> DeploymentUsage:
+    """Edge-only deployment: each location independently runs stock Bro
+    on the traffic originating or terminating there."""
+    traces = generator.split_by_node(list(sessions), transit=False)
+    reports = {}
+    for node, trace in traces.items():
+        instance = BroInstance(
+            node=node,
+            modules=modules,
+            mode=BroMode.UNMODIFIED,
+            cost_model=cost_model,
+            run_detectors=run_detectors,
+        )
+        reports[node] = instance.process_sessions(trace)
+    return DeploymentUsage(label="edge", reports=reports)
+
+
+def emulate_coordinated(
+    deployment: NIDSDeployment,
+    generator: TrafficGenerator,
+    sessions: Sequence[Session],
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    run_detectors: bool = False,
+    mode: BroMode = BroMode.COORD_EVENT,
+    fine_grained: bool = False,
+) -> DeploymentUsage:
+    """Coordinated deployment: every node runs a coordination-enabled
+    instance over its full trace including transit traffic, sampling
+    per its manifest.  The default mode is approach 2 (checks as early
+    as possible) — the configuration the paper selects; ``mode`` may be
+    set to ``COORD_POLICY`` for the approach-1 ablation."""
+    if mode is BroMode.UNMODIFIED:
+        raise ValueError("coordinated emulation requires a coordinated mode")
+    traces = generator.split_by_node(list(sessions), transit=True)
+    reports = {}
+    for node, trace in traces.items():
+        instance = BroInstance(
+            node=node,
+            modules=deployment.modules,
+            mode=mode,
+            dispatcher=deployment.dispatcher(node),
+            cost_model=cost_model,
+            run_detectors=run_detectors,
+            fine_grained=fine_grained,
+        )
+        reports[node] = instance.process_sessions(trace)
+    return DeploymentUsage(label="coordinated", reports=reports)
+
+
+@dataclass
+class ComparisonRow:
+    """One (x, edge, coordinated) measurement for the Fig. 6/7 series."""
+
+    x: float
+    edge_cpu: float
+    coord_cpu: float
+    edge_mem_mb: float
+    coord_mem_mb: float
+
+    @property
+    def cpu_reduction(self) -> float:
+        """Fractional reduction in max CPU from coordination."""
+        return 1.0 - self.coord_cpu / self.edge_cpu if self.edge_cpu else 0.0
+
+    @property
+    def mem_reduction(self) -> float:
+        """Fractional reduction in max memory from coordination."""
+        return 1.0 - self.coord_mem_mb / self.edge_mem_mb if self.edge_mem_mb else 0.0
+
+
+def compare_deployments(
+    deployment: NIDSDeployment,
+    generator: TrafficGenerator,
+    sessions: Sequence[Session],
+    x: float,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> ComparisonRow:
+    """Emulate both deployments and return the max-load comparison."""
+    edge = emulate_edge(generator, sessions, deployment.modules, cost_model)
+    coordinated = emulate_coordinated(deployment, generator, sessions, cost_model)
+    return ComparisonRow(
+        x=x,
+        edge_cpu=edge.max_cpu,
+        coord_cpu=coordinated.max_cpu,
+        edge_mem_mb=edge.max_mem_mb,
+        coord_mem_mb=coordinated.max_mem_mb,
+    )

@@ -1,0 +1,285 @@
+"""Simulated Bro instance (paper Section 2.3, Fig. 4).
+
+A :class:`BroInstance` models one Bro process on one node in one of
+three variants:
+
+* ``UNMODIFIED`` — stock Bro: every connection is tracked and every
+  module analyzes everything it matches (no coordination machinery).
+* ``COORD_POLICY`` — approach 1: coordination checks are delayed to the
+  policy engine; interpreted hash checks run per policy event.
+* ``COORD_EVENT`` — approach 2: checks run as early as possible; for
+  HTTP/IRC/Login-style modules a compiled check at module
+  initialization, and connection state is skipped entirely for traffic
+  outside the node's manifest unless some policy-stage module on this
+  node still needs the connection's events (the Section 2.5 caveat —
+  scan detection at an ingress forces tracking of all its sources'
+  connections).
+
+Processing is session-granular: per-packet costs are applied
+arithmetically from each session's packet count, which reproduces the
+cost accounting exactly while staying fast enough for the 100k-session
+network-wide runs.  Behavioural detectors can be enabled to verify
+functional equivalence between deployments.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.dispatch import CoordinatedDispatcher
+from ..core.units import unit_key_for_session
+from ..traffic.session import Session
+from .modules.base import Alert, CheckLocation, Detector, ModuleSpec, Subscription
+from .modules import make_detector
+from .resources import CostModel, DEFAULT_COST_MODEL, ResourceUsage
+
+
+class BroMode(enum.Enum):
+    """Instance variant (Fig. 4)."""
+
+    UNMODIFIED = "unmodified"
+    COORD_POLICY = "coord-policy"
+    COORD_EVENT = "coord-event"
+
+
+class TrackingLevel(enum.Enum):
+    """How much connection state a session forces at this node.
+
+    ``FULL`` is Bro's normal connection record; ``LIGHT`` is the §2.5
+    fine-grained extension — a first-packet-only record sufficient for
+    subscribers like scan detection; ``NONE`` skips state entirely.
+    """
+
+    NONE = 0
+    LIGHT = 1
+    FULL = 2
+
+
+@dataclass
+class InstanceReport:
+    """Resource usage and detection output of one instance run."""
+
+    node: str
+    mode: BroMode
+    usage: ResourceUsage
+    tracked_connections: int
+    module_cpu: Dict[str, float]
+    module_items: Dict[str, int]
+    alerts: List[Alert] = field(default_factory=list)
+    #: §2.5 fine-grained extension: first-packet-only records.
+    light_connections: int = 0
+
+    @property
+    def cpu(self) -> float:
+        """Total CPU footprint (cpu units)."""
+        return self.usage.cpu
+
+    @property
+    def mem_bytes(self) -> float:
+        """Total resident memory footprint (bytes)."""
+        return self.usage.mem_bytes
+
+
+class BroInstance:
+    """One simulated Bro process."""
+
+    def __init__(
+        self,
+        node: str,
+        modules: Sequence[ModuleSpec],
+        mode: BroMode,
+        dispatcher: Optional[CoordinatedDispatcher] = None,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        run_detectors: bool = False,
+        fine_grained: bool = False,
+    ):
+        if mode is not BroMode.UNMODIFIED and dispatcher is None:
+            raise ValueError("coordinated modes require a dispatcher")
+        self.node = node
+        self.modules = list(modules)
+        self.mode = mode
+        self.dispatcher = dispatcher
+        self.cost = cost_model
+        #: §2.5 extension: honour FIRST_PACKET subscriptions with
+        #: lightweight records instead of full connection tracking.
+        self.fine_grained = fine_grained
+        self.detectors: Dict[str, Detector] = (
+            {spec.name: make_detector(spec) for spec in self.modules}
+            if run_detectors
+            else {}
+        )
+
+    # -- per-session decisions ---------------------------------------------
+    def _responsible(self, spec: ModuleSpec, session: Session) -> bool:
+        """Whether this node holds any range for the session's unit."""
+        assert self.dispatcher is not None
+        unit = unit_key_for_session(spec, session)
+        return self.dispatcher.manifest.responsible(spec.name, unit)
+
+    def _sampled(self, spec: ModuleSpec, session: Session) -> bool:
+        """The Fig. 3 hash-range check for this node."""
+        assert self.dispatcher is not None
+        return self.dispatcher.should_analyze(spec, session)
+
+    def _required_level(self, spec: ModuleSpec) -> TrackingLevel:
+        """Tracking level *spec* forces when it needs this session."""
+        if self.fine_grained and spec.subscription is Subscription.FIRST_PACKET:
+            return TrackingLevel.LIGHT
+        return TrackingLevel.FULL
+
+    def _tracking_level(
+        self, session: Session, sampled_specs: List[ModuleSpec]
+    ) -> TrackingLevel:
+        """How much connection state *session* forces at this node.
+
+        Unmodified Bro and approach 1 fully track every connection
+        (the sampling decision comes too late to skip state).
+        Approach 2 creates state only when (a) some module sampled the
+        session, or (b) a policy-stage module on this node needs the
+        session's connection events: raw-stream consumers (scan, TFTP)
+        need events for *every* connection in their unit, other policy
+        modules (Blaster, SYN-flood) only for matched sessions.  With
+        the §2.5 fine-grained extension, first-packet subscribers force
+        only a LIGHT record.
+        """
+        if self.mode is not BroMode.COORD_EVENT:
+            return TrackingLevel.FULL
+        assert self.dispatcher is not None
+        if self.dispatcher.manifest.full:
+            # Standalone configuration: the manifest assigns all
+            # traffic to this node, so nothing falls outside it.
+            return TrackingLevel.FULL
+        level = TrackingLevel.NONE
+        for spec in sampled_specs:
+            required = self._required_level(spec)
+            if required.value > level.value:
+                level = required
+            if level is TrackingLevel.FULL:
+                return level
+        for spec in self.modules:
+            if spec.check_location is not CheckLocation.POLICY_ONLY:
+                continue
+            if not self._responsible(spec, session):
+                continue
+            if spec.raw_event_stream or spec.traffic_filter.matches_session(session):
+                required = self._required_level(spec)
+                if required.value > level.value:
+                    level = required
+                if level is TrackingLevel.FULL:
+                    return level
+        return level
+
+    # -- main loop -----------------------------------------------------------
+    def process_sessions(self, sessions: Sequence[Session]) -> InstanceReport:
+        """Run the instance over a node trace and account its resources."""
+        cost = self.cost
+        coordinated = self.mode is not BroMode.UNMODIFIED
+        usage = ResourceUsage(mem_bytes=float(cost.process_base_bytes))
+        module_cpu: Dict[str, float] = {spec.name: 0.0 for spec in self.modules}
+        module_items: Dict[str, Set[int]] = {spec.name: set() for spec in self.modules}
+        tracked_connections = 0
+        light_connections = 0
+
+        for session in sessions:
+            pkts = session.num_packets
+            usage.cpu += cost.capture_cost * pkts
+
+            if coordinated:
+                sampled_specs = [
+                    spec for spec in self.modules if self._sampled(spec, session)
+                ]
+            else:
+                sampled_specs = [
+                    spec
+                    for spec in self.modules
+                    if spec.traffic_filter.matches_session(session)
+                ]
+
+            level = self._tracking_level(session, sampled_specs)
+            tracked = level is not TrackingLevel.NONE
+            if level is TrackingLevel.FULL:
+                tracked_connections += 1
+                usage.cpu += cost.base_conn_packet_cost * pkts
+                usage.mem_bytes += cost.conn_record_bytes
+                if coordinated:
+                    usage.cpu += cost.hash_compute_cost
+                    usage.mem_bytes += cost.hash_fields_bytes
+            elif level is TrackingLevel.LIGHT:
+                light_connections += 1
+                usage.cpu += cost.light_conn_cost + cost.hash_compute_cost
+                usage.mem_bytes += cost.light_record_bytes
+
+            if coordinated:
+                usage.cpu += self._check_costs(session, tracked)
+
+            for spec in sampled_specs:
+                work = spec.session_cpu(session)
+                usage.cpu += work
+                module_cpu[spec.name] += work
+                module_items[spec.name].add(spec.item_key(session))
+                detector = self.detectors.get(spec.name)
+                if detector is not None:
+                    detector.on_session(session)
+
+        item_counts: Dict[str, int] = {}
+        for spec in self.modules:
+            count = len(module_items[spec.name])
+            item_counts[spec.name] = count
+            usage.mem_bytes += count * spec.mem_bytes_per_item
+
+        alerts: List[Alert] = []
+        for detector in self.detectors.values():
+            alerts.extend(detector.alerts)
+
+        return InstanceReport(
+            node=self.node,
+            mode=self.mode,
+            usage=usage,
+            tracked_connections=tracked_connections,
+            module_cpu=module_cpu,
+            module_items=item_counts,
+            alerts=alerts,
+            light_connections=light_connections,
+        )
+
+    # -- coordination-check accounting ----------------------------------------
+    def _check_costs(self, session: Session, tracked: bool) -> float:
+        """CPU cost of the coordination checks for one connection.
+
+        Event-engine checks are charged per connection per configured
+        module; policy-engine checks per event delivered to the policy
+        script (raw-stream consumers receive one event per tracked
+        connection; protocol modules one per derived protocol event).
+        """
+        cost = self.cost
+        total = 0.0
+        for spec in self.modules:
+            if not self._responsible(spec, session):
+                continue
+            location = spec.check_location
+            if location is CheckLocation.POLICY_ONLY:
+                if not tracked:
+                    continue
+                if spec.raw_event_stream:
+                    total += cost.policy_check_cost * spec.raw_events_per_conn
+                elif spec.traffic_filter.matches_session(session):
+                    total += cost.policy_check_cost * spec.policy_events(session)
+            elif location is CheckLocation.EVENT_ONLY:
+                if spec.traffic_filter.matches_session(session):
+                    total += cost.event_check_cost
+            else:  # EVENT_CAPABLE: placement depends on the approach
+                if self.mode is BroMode.COORD_EVENT:
+                    if spec.traffic_filter.matches_session(session):
+                        total += cost.event_check_cost
+                elif tracked and spec.traffic_filter.matches_session(session):
+                    total += cost.policy_check_cost * spec.policy_events(session)
+        return total
+
+    def alert_keys(self) -> Set[Tuple[str, str]]:
+        """Union of deduplicated alert identities across detectors."""
+        keys: Set[Tuple[str, str]] = set()
+        for detector in self.detectors.values():
+            keys.update(detector.alert_keys())
+        return keys

@@ -1,0 +1,109 @@
+"""NIDS analysis modules: specs, catalog, and behavioural detectors."""
+
+from typing import Dict, Type
+
+from .app_protocols import (
+    BlasterDetector,
+    HTTPAnalyzer,
+    IRCAnalyzer,
+    LoginAnalyzer,
+    TFTPAnalyzer,
+)
+from .base import (
+    Alert,
+    CheckLocation,
+    Detector,
+    ModuleSpec,
+    Scope,
+    TrafficFilter,
+)
+from .catalog import (
+    BLASTER,
+    FULL_MODULE_COUNT,
+    HTTP,
+    IRC,
+    LOGIN,
+    SCAN,
+    SIGNATURE,
+    STANDARD_MODULES,
+    SYNFLOOD,
+    TFTP,
+    module_by_name,
+    module_set,
+)
+from .extended import (
+    DNSTunnelDetector,
+    EXTENDED_DETECTORS,
+    EXTENDED_MODULES,
+    FTPAnalyzer,
+    SMTPAnalyzer,
+    SSHBruteDetector,
+)
+from .scan import DEFAULT_SCAN_THRESHOLD, ScanDetector
+from .signature import DEFAULT_SIGNATURES, SignatureMatcher
+from .synflood import DEFAULT_FLOOD_THRESHOLD, SynFloodDetector
+
+#: Detector class for each standard module family (duplicates such as
+#: ``http#2`` resolve by their base name before the ``#``).
+DETECTOR_CLASSES: Dict[str, Type[Detector]] = {
+    "scan": ScanDetector,
+    "http": HTTPAnalyzer,
+    "irc": IRCAnalyzer,
+    "login": LoginAnalyzer,
+    "tftp": TFTPAnalyzer,
+    "blaster": BlasterDetector,
+    "signature": SignatureMatcher,
+    "synflood": SynFloodDetector,
+    **EXTENDED_DETECTORS,
+}
+
+
+def make_detector(spec: ModuleSpec) -> Detector:
+    """Instantiate the behavioural detector for *spec*."""
+    base_name = spec.name.split("#", 1)[0]
+    try:
+        detector_class = DETECTOR_CLASSES[base_name]
+    except KeyError:
+        raise ValueError(f"no detector registered for module {spec.name!r}") from None
+    return detector_class(spec)
+
+
+__all__ = [
+    "Alert",
+    "DNSTunnelDetector",
+    "EXTENDED_DETECTORS",
+    "EXTENDED_MODULES",
+    "FTPAnalyzer",
+    "SMTPAnalyzer",
+    "SSHBruteDetector",
+    "BLASTER",
+    "BlasterDetector",
+    "CheckLocation",
+    "DEFAULT_FLOOD_THRESHOLD",
+    "DEFAULT_SCAN_THRESHOLD",
+    "DEFAULT_SIGNATURES",
+    "DETECTOR_CLASSES",
+    "Detector",
+    "FULL_MODULE_COUNT",
+    "HTTP",
+    "HTTPAnalyzer",
+    "IRC",
+    "IRCAnalyzer",
+    "LOGIN",
+    "LoginAnalyzer",
+    "ModuleSpec",
+    "SCAN",
+    "SIGNATURE",
+    "STANDARD_MODULES",
+    "SYNFLOOD",
+    "ScanDetector",
+    "Scope",
+    "SignatureMatcher",
+    "SynFloodDetector",
+    "TFTP",
+    "TFTPAnalyzer",
+    "TrafficFilter",
+    "make_detector",
+    "module_by_name",
+    "module_set",
+]

@@ -1,0 +1,111 @@
+"""Application-protocol analyzers: HTTP, IRC, Login, TFTP, Blaster.
+
+Each analyzer consumes the sessions matched by its module's traffic
+filter, keeps lightweight per-session statistics, and raises an alert
+when the session carries the protocol's malicious payload tag.  The
+tags stand in for content inspection (see ``traffic.packet.Packet``);
+what matters for the reproduction is that a distributed deployment
+raises exactly the same alert set as a standalone one.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ...traffic.session import Session
+from .base import Alert, Detector, ModuleSpec
+
+
+class _TaggedSessionDetector(Detector):
+    """Shared base: alert on sessions carrying *alert_tag*."""
+
+    alert_tag = ""
+    alert_detail = ""
+
+    def __init__(self, spec: ModuleSpec):
+        super().__init__(spec)
+        self.sessions_analyzed = 0
+
+    def on_session(self, session: Session) -> None:
+        self.sessions_analyzed += 1
+        if session.malicious and session.payload_tag == self.alert_tag:
+            self.alerts.append(
+                Alert(
+                    module=self.spec.name,
+                    subject=f"session:{session.session_id}",
+                    detail=self.alert_detail,
+                )
+            )
+
+
+class HTTPAnalyzer(_TaggedSessionDetector):
+    """HTTP request analysis; alerts on exploit-bearing requests."""
+
+    alert_tag = "exploit-http"
+    alert_detail = "HTTP exploit signature in request"
+
+    def __init__(self, spec: ModuleSpec):
+        super().__init__(spec)
+        self.requests_seen = 0
+
+    def on_session(self, session: Session) -> None:
+        # Roughly one request per forward/response packet pair.
+        self.requests_seen += max(1, session.num_packets // 2)
+        super().on_session(session)
+
+
+class IRCAnalyzer(_TaggedSessionDetector):
+    """IRC channel tracking; alerts on botnet command-and-control."""
+
+    alert_tag = "botnet-cnc"
+    alert_detail = "IRC botnet C&C channel activity"
+
+
+class LoginAnalyzer(_TaggedSessionDetector):
+    """Telnet/rlogin session analysis; alerts on brute-force attempts."""
+
+    alert_tag = "login-bruteforce"
+    alert_detail = "interactive login brute-force"
+
+
+class TFTPAnalyzer(Detector):
+    """TFTP transfer logging (policy-stage raw event consumer)."""
+
+    def __init__(self, spec: ModuleSpec):
+        super().__init__(spec)
+        self.transfers: int = 0
+
+    def on_session(self, session: Session) -> None:
+        self.transfers += 1
+        # Every TFTP transfer crossing the backbone is logged; unsolicited
+        # transfers are inherently notable in enterprise settings.
+        self.alerts.append(
+            Alert(
+                module=self.spec.name,
+                subject=f"session:{session.session_id}",
+                detail="TFTP transfer observed",
+            )
+        )
+
+
+class BlasterDetector(Detector):
+    """Blaster-worm detection on RPC (port 135) connections, per source."""
+
+    def __init__(self, spec: ModuleSpec):
+        super().__init__(spec)
+        self._alerted: Set[int] = set()
+
+    def on_session(self, session: Session) -> None:
+        if not (session.malicious and session.payload_tag == "blaster-worm"):
+            return
+        source = session.tuple.src
+        if source in self._alerted:
+            return
+        self._alerted.add(source)
+        self.alerts.append(
+            Alert(
+                module=self.spec.name,
+                subject=f"src:{source}",
+                detail="Blaster worm propagation attempt",
+            )
+        )

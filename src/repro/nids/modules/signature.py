@@ -1,0 +1,52 @@
+"""Signature-based detection (event-engine pattern matching).
+
+Matches session payload tags against a signature set — the simulator's
+stand-in for Bro's signature engine scanning payload bytes with a DFA.
+The module analyzes *all* traffic (its ``T_i`` is unrestricted) and is
+the paper's canonical example of an analysis whose coordination check
+lives solely in the event engine.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from ...traffic.packet import Packet
+from ...traffic.session import Session
+from .base import Alert, Detector, ModuleSpec
+
+#: Malware payload tags the default signature set matches.
+DEFAULT_SIGNATURES: FrozenSet[str] = frozenset(
+    {"exploit-http", "botnet-cnc", "blaster-worm", "login-bruteforce"}
+)
+
+
+class SignatureMatcher(Detector):
+    """Payload-tag matching over every analyzed session."""
+
+    def __init__(self, spec: ModuleSpec, signatures: FrozenSet[str] = DEFAULT_SIGNATURES):
+        super().__init__(spec)
+        self.signatures = signatures
+        self.bytes_scanned = 0
+
+    def on_session(self, session: Session) -> None:
+        self.bytes_scanned += session.num_bytes
+        if session.malicious and session.payload_tag in self.signatures:
+            self.alerts.append(
+                Alert(
+                    module=self.spec.name,
+                    subject=f"session:{session.session_id}",
+                    detail=f"signature match: {session.payload_tag}",
+                )
+            )
+
+    def on_packet(self, packet: Packet) -> None:
+        self.bytes_scanned += packet.size
+        if packet.payload_tag and packet.payload_tag in self.signatures:
+            self.alerts.append(
+                Alert(
+                    module=self.spec.name,
+                    subject=f"flow:{packet.tuple.flow_key().hex()}",
+                    detail=f"signature match: {packet.payload_tag}",
+                )
+            )

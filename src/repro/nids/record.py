@@ -1,0 +1,109 @@
+"""Connection records (paper Section 2.3).
+
+Bro "maintains a connection record for each end-to-end session which is
+generated in the event engine and carried into the policy engine"; the
+paper's extension adds "hashes of different combinations of the
+connection fields" to the record so policy scripts can perform
+coordination checks with a lookup instead of recomputation.
+
+:class:`ConnectionRecord` models exactly that: orientation (originator
+vs. responder), state machine, byte/packet counters, and — when built
+by a coordination-enabled engine — the precomputed per-aggregation
+hash fields.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..hashing.bobhash import hash_unit
+from ..hashing.keys import Aggregation, RECORD_HASH_FIELDS, key_for
+from ..traffic.packet import FiveTuple, Packet, TCP
+
+
+class ConnState(enum.Enum):
+    """Connection life-cycle states (simplified Bro model)."""
+
+    ATTEMPT = "attempt"  # SYN seen, no reply
+    ESTABLISHED = "established"
+    CLOSED = "closed"
+
+
+@dataclass
+class ConnectionRecord:
+    """Per-connection state carried from event engine to policy engine."""
+
+    orig: FiveTuple  # originator-oriented 5-tuple
+    state: ConnState = ConnState.ATTEMPT
+    orig_packets: int = 0
+    resp_packets: int = 0
+    orig_bytes: int = 0
+    resp_bytes: int = 0
+    first_timestamp: float = 0.0
+    last_timestamp: float = 0.0
+    #: Precomputed hash fields (the paper's extension); empty for an
+    #: unmodified engine.
+    hashes: Dict[Aggregation, float] = field(default_factory=dict)
+
+    @property
+    def total_packets(self) -> int:
+        """Packets in both directions."""
+        return self.orig_packets + self.resp_packets
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes in both directions."""
+        return self.orig_bytes + self.resp_bytes
+
+    @property
+    def half_open(self) -> bool:
+        """Never progressed past the initial attempt."""
+        return self.state is ConnState.ATTEMPT
+
+    def is_originator(self, packet: Packet) -> bool:
+        """Whether *packet* travels in the originator's direction."""
+        return packet.tuple.src == self.orig.src
+
+    def update(self, packet: Packet) -> None:
+        """Fold one packet into the record's counters and state."""
+        if self.total_packets == 0:
+            self.first_timestamp = packet.timestamp
+        self.last_timestamp = packet.timestamp
+        if self.is_originator(packet):
+            self.orig_packets += 1
+            self.orig_bytes += packet.size
+        else:
+            self.resp_packets += 1
+            self.resp_bytes += packet.size
+            if self.state is ConnState.ATTEMPT:
+                self.state = ConnState.ESTABLISHED
+        if packet.is_fin and self.state is ConnState.ESTABLISHED:
+            self.state = ConnState.CLOSED
+
+    def compute_hashes(self, seed: int = 0) -> None:
+        """Populate the coordination hash fields (Section 2.3).
+
+        Computed once at record creation, oriented by the originator
+        tuple, so every later policy-stage check is a table lookup.
+        """
+        t = self.orig
+        for aggregation in RECORD_HASH_FIELDS:
+            key = key_for(aggregation, t.src, t.dst, t.sport, t.dport, t.proto)
+            self.hashes[aggregation] = hash_unit(key, seed)
+
+    def hash_for(self, aggregation: Aggregation, seed: int = 0) -> float:
+        """The record's hash for *aggregation*, computing lazily if the
+        engine did not precompute (unmodified-Bro path)."""
+        value = self.hashes.get(aggregation)
+        if value is None:
+            t = self.orig
+            key = key_for(aggregation, t.src, t.dst, t.sport, t.dport, t.proto)
+            value = hash_unit(key, seed)
+        return value
+
+
+def record_key(packet: Packet) -> FiveTuple:
+    """The canonical (direction-independent) connection table key."""
+    return packet.tuple.canonical()

@@ -1,0 +1,38 @@
+"""NIPS substrate: rules, match rates, enforcement, adversaries.
+
+Enforcement and adversary symbols are loaded lazily (PEP 562): they
+depend on :mod:`repro.core`, which itself depends on the rule model
+defined here, and the lazy indirection keeps the import graph acyclic.
+"""
+
+from .rules import MatchRateMatrix, NIPSRule, unit_rules
+
+_LAZY_EXPORTS = {
+    "EnforcementReport": ("repro.nips.enforcement", "EnforcementReport"),
+    "enforce": ("repro.nips.enforcement", "enforce"),
+    "EvasiveAdversary": ("repro.nips.adversary", "EvasiveAdversary"),
+    "ShiftingHotspotProcess": ("repro.nips.adversary", "ShiftingHotspotProcess"),
+    "UniformProcess": ("repro.nips.adversary", "UniformProcess"),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+__all__ = [
+    "EnforcementReport",
+    "EvasiveAdversary",
+    "MatchRateMatrix",
+    "NIPSRule",
+    "ShiftingHotspotProcess",
+    "UniformProcess",
+    "enforce",
+    "unit_rules",
+]

@@ -1,0 +1,136 @@
+"""CSV artifact writers for the reproduced figures.
+
+Each writer takes the corresponding experiment driver's output and
+emits a CSV with one row per plotted point, so downstream users can
+regenerate the paper's plots with any tool.  Used by the ``repro
+figures`` CLI command; the writers are plain functions over the result
+dataclasses, so they are equally usable from notebooks.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, List, Sequence, TextIO
+
+from .experiments.nids_network_wide import PerNodeProfile
+from .experiments.nips_rounding import RoundingStats
+from .experiments.online_adaptation import OnlineEvaluation
+from .nids.emulation import ComparisonRow
+from .nids.microbench import MicrobenchRow
+
+
+def _write(rows: Iterable[Sequence], header: Sequence[str], stream: TextIO) -> None:
+    writer = csv.writer(stream)
+    writer.writerow(header)
+    for row in rows:
+        writer.writerow(row)
+
+
+def comparison_csv(rows: Sequence[ComparisonRow], x_label: str, stream: TextIO) -> None:
+    """Figs. 6/7 series: x, max loads, and reductions per deployment."""
+    _write(
+        (
+            (
+                row.x,
+                row.edge_cpu,
+                row.coord_cpu,
+                row.cpu_reduction,
+                row.edge_mem_mb,
+                row.coord_mem_mb,
+                row.mem_reduction,
+            )
+            for row in rows
+        ),
+        (
+            x_label,
+            "edge_max_cpu",
+            "coord_max_cpu",
+            "cpu_reduction",
+            "edge_max_mem_mb",
+            "coord_max_mem_mb",
+            "mem_reduction",
+        ),
+        stream,
+    )
+
+
+def per_node_csv(profile: PerNodeProfile, stream: TextIO) -> None:
+    """Fig. 8: per-node loads under both deployments."""
+    _write(
+        (
+            (index, node, edge_cpu, coord_cpu, edge_mb, coord_mb)
+            for index, (node, edge_cpu, coord_cpu, edge_mb, coord_mb) in enumerate(
+                profile.rows(), start=1
+            )
+        ),
+        ("node_index", "node", "edge_cpu", "coord_cpu", "edge_mem_mb", "coord_mem_mb"),
+        stream,
+    )
+
+
+def microbench_csv(rows: Sequence[MicrobenchRow], stream: TextIO) -> None:
+    """Fig. 5: per-module coordination overheads (mean/min/max)."""
+    def expand(row: MicrobenchRow):
+        return (
+            row.module,
+            row.cpu_policy.mean,
+            row.cpu_policy.minimum,
+            row.cpu_policy.maximum,
+            row.cpu_event.mean,
+            row.cpu_event.minimum,
+            row.cpu_event.maximum,
+            row.mem_policy.mean,
+            row.mem_event.mean,
+        )
+
+    _write(
+        (expand(row) for row in rows),
+        (
+            "module",
+            "cpu_policy_mean",
+            "cpu_policy_min",
+            "cpu_policy_max",
+            "cpu_event_mean",
+            "cpu_event_min",
+            "cpu_event_max",
+            "mem_policy_mean",
+            "mem_event_mean",
+        ),
+        stream,
+    )
+
+
+def rounding_csv(stats: Sequence[RoundingStats], stream: TextIO) -> None:
+    """Fig. 10: fraction-of-OptLP per topology/capacity/variant."""
+    _write(
+        (
+            (
+                s.topology,
+                s.capacity_fraction,
+                s.variant.value,
+                s.mean,
+                s.minimum,
+                s.maximum,
+            )
+            for s in stats
+        ),
+        ("topology", "capacity_fraction", "variant", "mean", "min", "max"),
+        stream,
+    )
+
+
+def regret_csv(evaluation: OnlineEvaluation, stream: TextIO) -> None:
+    """Fig. 11: normalized regret per epoch per run."""
+    rows: List[Sequence] = []
+    for run_index, run in enumerate(evaluation.runs, start=1):
+        for point in run.points:
+            rows.append((run_index, point.epoch, point.normalized_regret))
+    _write(rows, ("run", "epoch", "normalized_regret"), stream)
+
+
+def to_string(writer, *args) -> str:
+    """Render any writer above into a string (convenience for tests)."""
+    stream = io.StringIO()
+    writer(*args, stream)
+    return stream.getvalue()

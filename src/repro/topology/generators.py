@@ -1,0 +1,153 @@
+"""Additional topology families.
+
+The paper evaluates on backbone/ISP topologies; downstream users of a
+network-wide NIDS/NIPS planner will want to explore other shapes.
+These generators produce:
+
+* :func:`waxman` — the classic random-graph model for router-level
+  internets (connection probability decays with distance);
+* :func:`ring` — the degenerate worst case for path diversity (every
+  transit node sees half the network's traffic);
+* :func:`leaf_spine` — a two-tier datacenter fabric, where "ingress"
+  means a leaf (top-of-rack) switch and every path is leaf-spine-leaf.
+
+All generators are deterministic in their seed and return fully
+populated :class:`~repro.topology.graph.Topology` objects (populations
+included, so gravity-model workloads work unchanged).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+from .graph import LinkSpec, NodeSpec, Topology
+
+
+def waxman(
+    num_nodes: int,
+    seed: int = 0,
+    alpha: float = 0.4,
+    beta: float = 0.25,
+    region_km: float = 3000.0,
+    name: Optional[str] = None,
+) -> Topology:
+    """Waxman random topology.
+
+    Nodes are scattered uniformly; the probability of a link between
+    nodes at distance ``d`` is ``alpha * exp(-d / (beta * L))`` where
+    ``L`` is the region diagonal.  A Euclidean MST is added first so the
+    result is always connected.
+    """
+    if num_nodes < 2:
+        raise ValueError("need at least 2 nodes")
+    rng = random.Random(seed)
+    positions = [
+        (rng.random() * region_km, rng.random() * region_km)
+        for _ in range(num_nodes)
+    ]
+    populations = [math.exp(rng.gauss(0.5, 0.8)) for _ in range(num_nodes)]
+    nodes = [
+        NodeSpec(
+            name=f"w{i:03d}",
+            city=f"waxman-{i}",
+            population=populations[i],
+            latitude=positions[i][0],
+            longitude=positions[i][1],
+        )
+        for i in range(num_nodes)
+    ]
+
+    def dist(i: int, j: int) -> float:
+        (x1, y1), (x2, y2) = positions[i], positions[j]
+        return max(1.0, math.hypot(x1 - x2, y1 - y2))
+
+    # MST for connectivity.
+    in_tree = {0}
+    edges = set()
+    remaining = set(range(1, num_nodes))
+    while remaining:
+        best = min(
+            ((dist(i, j), i, j) for i in in_tree for j in remaining),
+            key=lambda t: t[0],
+        )
+        edges.add((best[1], best[2]))
+        in_tree.add(best[2])
+        remaining.discard(best[2])
+
+    diagonal = region_km * math.sqrt(2.0)
+    for i in range(num_nodes):
+        for j in range(i + 1, num_nodes):
+            if (i, j) in edges or (j, i) in edges:
+                continue
+            probability = alpha * math.exp(-dist(i, j) / (beta * diagonal))
+            if rng.random() < probability:
+                edges.add((i, j))
+
+    links = [LinkSpec(nodes[i].name, nodes[j].name, dist(i, j)) for i, j in edges]
+    return Topology(name or f"waxman-{num_nodes}-s{seed}", nodes, links)
+
+
+def ring(num_nodes: int, seed: int = 0, name: Optional[str] = None) -> Topology:
+    """A ring: minimal connectivity, maximal transit concentration.
+
+    The stress case for coordination: path-scoped coordination units
+    have many eligible nodes (long paths) while every node also carries
+    heavy transit load.
+    """
+    if num_nodes < 3:
+        raise ValueError("a ring needs at least 3 nodes")
+    rng = random.Random(seed)
+    nodes = [
+        NodeSpec(
+            name=f"r{i:03d}",
+            city=f"ring-{i}",
+            population=math.exp(rng.gauss(0.5, 0.6)),
+        )
+        for i in range(num_nodes)
+    ]
+    links = [
+        LinkSpec(nodes[i].name, nodes[(i + 1) % num_nodes].name, 100.0)
+        for i in range(num_nodes)
+    ]
+    return Topology(name or f"ring-{num_nodes}", nodes, links)
+
+
+def leaf_spine(
+    num_leaves: int,
+    num_spines: int = 2,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> Topology:
+    """A two-tier leaf-spine fabric.
+
+    Every leaf connects to every spine; hosts home at leaves (spines
+    get negligible population so the gravity model sends no traffic to
+    them), and every leaf-to-leaf path is exactly three hops — the
+    datacenter variant of the paper's deployment question: analyze at
+    the leaves, the spines, or split by hash?
+    """
+    if num_leaves < 2 or num_spines < 1:
+        raise ValueError("need >=2 leaves and >=1 spine")
+    rng = random.Random(seed)
+    nodes = [
+        NodeSpec(
+            name=f"leaf{i:02d}",
+            city=f"rack-{i}",
+            population=math.exp(rng.gauss(0.5, 0.4)),
+        )
+        for i in range(num_leaves)
+    ]
+    nodes += [
+        NodeSpec(name=f"spine{s:02d}", city=f"spine-{s}", population=1e-6)
+        for s in range(num_spines)
+    ]
+    links = [
+        LinkSpec(f"leaf{i:02d}", f"spine{s:02d}", 1.0)
+        for i in range(num_leaves)
+        for s in range(num_spines)
+    ]
+    return Topology(
+        name or f"leafspine-{num_leaves}x{num_spines}", nodes, links
+    )

@@ -1,0 +1,75 @@
+"""Gravity-model traffic matrices.
+
+Both evaluations in the paper derive their traffic matrices from a
+gravity model over city populations (Sections 2.4 and 3.4, following
+Roughan et al.): the fraction of total traffic entering at ingress
+``s`` and leaving at egress ``d`` is proportional to
+``pop(s) * pop(d)``.
+
+We expose the model as a plain ``{(ingress, egress): fraction}`` map
+(fractions over ordered pairs, summing to 1) which the traffic
+generator and the optimization drivers consume directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from .graph import Topology
+
+PairFractions = Dict[Tuple[str, str], float]
+
+
+def gravity_fractions(
+    populations: Mapping[str, float], include_self_pairs: bool = False
+) -> PairFractions:
+    """Gravity-model fractions over ordered node pairs.
+
+    Parameters
+    ----------
+    populations:
+        City population (or any attraction mass) per node.  Must be
+        positive.
+    include_self_pairs:
+        Whether traffic both entering and leaving at the same PoP is
+        modeled.  The paper's evaluations route between distinct
+        locations, so the default excludes self pairs.
+    """
+    names = list(populations)
+    if not names:
+        raise ValueError("empty population map")
+    for name, pop in populations.items():
+        if pop <= 0:
+            raise ValueError(f"non-positive population for {name!r}")
+
+    weights: PairFractions = {}
+    for src in names:
+        for dst in names:
+            if src == dst and not include_self_pairs:
+                continue
+            weights[(src, dst)] = populations[src] * populations[dst]
+    total = sum(weights.values())
+    return {pair: weight / total for pair, weight in weights.items()}
+
+
+def gravity_matrix(
+    topology: Topology,
+    total_volume: float,
+    include_self_pairs: bool = False,
+) -> PairFractions:
+    """Gravity-model volumes: *total_volume* split across ordered pairs."""
+    fractions = gravity_fractions(topology.populations, include_self_pairs)
+    return {pair: fraction * total_volume for pair, fraction in fractions.items()}
+
+
+def ingress_fractions(fractions: PairFractions) -> Dict[str, float]:
+    """Total fraction of traffic entering the network at each ingress."""
+    totals: Dict[str, float] = {}
+    for (src, _), fraction in fractions.items():
+        totals[src] = totals.get(src, 0.0) + fraction
+    return totals
+
+
+def heaviest_pair(fractions: PairFractions) -> Tuple[str, str]:
+    """The ordered pair carrying the largest traffic fraction."""
+    return max(fractions, key=lambda pair: fractions[pair])

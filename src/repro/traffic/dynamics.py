@@ -1,0 +1,92 @@
+"""Traffic dynamics: diurnal variation and bursts (paper §5).
+
+"To handle short-term bursts, we can use conservative values; e.g.,
+95%ile values to account for bursty patterns and tradeoff some loss in
+optimality for better robustness."
+
+:class:`DiurnalBurstModel` generates the per-interval session volumes
+that motivate that advice — a diurnal sinusoid with random multiplicative
+bursts — and :func:`headroom_for_percentile` converts an observed
+volume history into the headroom factor
+:func:`repro.core.reconfigure.conservative_units` consumes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass
+class DiurnalBurstModel:
+    """Per-interval traffic volume process."""
+
+    base_sessions: int
+    #: Relative amplitude of the diurnal sinusoid (0.3 => ±30%).
+    diurnal_amplitude: float = 0.3
+    #: Intervals per diurnal period (e.g. 288 five-minute intervals/day).
+    period: int = 288
+    #: Probability that an interval carries a burst.
+    burst_probability: float = 0.05
+    #: Volume multiplier during a burst.
+    burst_multiplier: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base_sessions <= 0:
+            raise ValueError("base_sessions must be positive")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        if not 0.0 <= self.burst_probability <= 1.0:
+            raise ValueError("burst_probability must be in [0, 1]")
+        self._rng = random.Random(self.seed)
+
+    def volume_at(self, interval: int) -> int:
+        """Session volume for *interval* (diurnal x optional burst)."""
+        phase = 2.0 * math.pi * interval / self.period
+        diurnal = 1.0 + self.diurnal_amplitude * math.sin(phase)
+        burst = (
+            self.burst_multiplier
+            if self._rng.random() < self.burst_probability
+            else 1.0
+        )
+        return max(1, int(round(self.base_sessions * diurnal * burst)))
+
+    def series(self, num_intervals: int) -> List[int]:
+        """Volumes for *num_intervals* consecutive intervals."""
+        return [self.volume_at(t) for t in range(num_intervals)]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The *q*-th percentile (linear interpolation, 0 <= q <= 100)."""
+    if not values:
+        raise ValueError("empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = min(low + 1, len(ordered) - 1)
+    weight = rank - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+def headroom_for_percentile(
+    volumes: Sequence[float], q: float = 95.0
+) -> float:
+    """Headroom factor so mean-volume plans survive *q*-percentile load.
+
+    ``conservative_units(units, headroom_for_percentile(history))``
+    implements the paper's 95th-percentile advice against an observed
+    volume history.
+    """
+    if not volumes:
+        raise ValueError("empty volume history")
+    mean = sum(volumes) / len(volumes)
+    if mean <= 0:
+        raise ValueError("mean volume must be positive")
+    return max(1.0, percentile(volumes, q) / mean)

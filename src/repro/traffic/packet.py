@@ -1,0 +1,95 @@
+"""Packet and flow-key datatypes.
+
+Hosts are opaque integers (a node index in the high bits, a per-site
+host id in the low bits — see :mod:`repro.traffic.generator`), which
+keeps key material canonical without committing to an address family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hashing.keys import (
+    Aggregation,
+    destination_key,
+    flow_key,
+    key_for,
+    session_key,
+    source_key,
+)
+
+TCP = 6
+UDP = 17
+ICMP = 1
+
+#: TCP flag bits (subset used by the simulator).
+FLAG_SYN = 0x02
+FLAG_ACK = 0x10
+FLAG_FIN = 0x01
+FLAG_RST = 0x04
+
+
+@dataclass(frozen=True)
+class FiveTuple:
+    """Unidirectional transport 5-tuple."""
+
+    src: int
+    dst: int
+    sport: int
+    dport: int
+    proto: int = TCP
+
+    def reversed(self) -> "FiveTuple":
+        """The same connection seen in the opposite direction."""
+        return FiveTuple(self.dst, self.src, self.dport, self.sport, self.proto)
+
+    def canonical(self) -> "FiveTuple":
+        """Direction-independent form (smaller endpoint first)."""
+        if (self.src, self.sport) <= (self.dst, self.dport):
+            return self
+        return self.reversed()
+
+    # -- hash keys --------------------------------------------------------
+    def flow_key(self) -> bytes:
+        return flow_key(self.src, self.dst, self.sport, self.dport, self.proto)
+
+    def session_key(self) -> bytes:
+        return session_key(self.src, self.dst, self.sport, self.dport, self.proto)
+
+    def source_key(self) -> bytes:
+        return source_key(self.src)
+
+    def destination_key(self) -> bytes:
+        return destination_key(self.dst)
+
+    def key_for(self, aggregation: Aggregation) -> bytes:
+        return key_for(aggregation, self.src, self.dst, self.sport, self.dport, self.proto)
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A simulated packet.
+
+    ``payload_tag`` stands in for payload content: the signature module
+    matches packets whose tag names a known malware pattern, which lets
+    the simulator exercise signature analysis without byte payloads.
+    """
+
+    tuple: FiveTuple
+    timestamp: float
+    size: int = 500
+    flags: int = FLAG_ACK
+    payload_tag: str = ""
+
+    @property
+    def is_syn(self) -> bool:
+        """A connection-initiating SYN (no ACK)."""
+        return bool(self.flags & FLAG_SYN) and not (self.flags & FLAG_ACK)
+
+    @property
+    def is_fin(self) -> bool:
+        """Whether the FIN flag is set."""
+        return bool(self.flags & FLAG_FIN)
+
+    def key_for(self, aggregation: Aggregation) -> bytes:
+        return self.tuple.key_for(aggregation)

@@ -1,0 +1,125 @@
+"""Tests for the Bob (Jenkins lookup3) hash implementation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.bobhash import bob_hash, bob_hash_pair, hash_unit
+
+
+class TestPublishedVectors:
+    """lookup3.c's self-test anchors for hashlittle()."""
+
+    def test_empty_zero_seed(self):
+        assert bob_hash(b"", 0) == 0xDEADBEEF
+
+    def test_empty_deadbeef_seed(self):
+        assert bob_hash(b"", 0xDEADBEEF) == 0xBD5B7DDE
+
+    def test_four_score_seed0(self):
+        assert bob_hash(b"Four score and seven years ago", 0) == 0x17770551
+
+    def test_four_score_seed1(self):
+        assert bob_hash(b"Four score and seven years ago", 1) == 0xCD628161
+
+
+class TestBasicProperties:
+    def test_deterministic(self):
+        data = b"\x01\x02\x03\x04network"
+        assert bob_hash(data, 7) == bob_hash(data, 7)
+
+    def test_seed_changes_output(self):
+        data = b"flow-key-material"
+        assert bob_hash(data, 0) != bob_hash(data, 1)
+
+    def test_rejects_str(self):
+        with pytest.raises(TypeError):
+            bob_hash("not bytes")  # type: ignore[arg-type]
+
+    def test_32_bit_range(self):
+        for length in range(0, 40):
+            value = bob_hash(bytes(range(length % 256)) * (length // 256 + 1))
+            assert 0 <= value <= 0xFFFFFFFF
+
+    @pytest.mark.parametrize("length", list(range(0, 26)) + [100, 1000])
+    def test_all_tail_lengths(self, length):
+        """Every tail length 0..12 (and beyond) hashes without error
+        and differs from its one-byte-shorter prefix."""
+        data = bytes((i * 37 + 11) % 256 for i in range(length))
+        value = bob_hash(data)
+        assert 0 <= value <= 0xFFFFFFFF
+        if length:
+            assert value != bob_hash(data[:-1])
+
+    def test_single_bit_avalanche(self):
+        """Flipping one input bit flips a substantial share of output
+        bits on average (weak avalanche check)."""
+        base = bytes(range(16))
+        reference = bob_hash(base)
+        flipped_bits = []
+        for byte_index in range(len(base)):
+            for bit in range(8):
+                mutated = bytearray(base)
+                mutated[byte_index] ^= 1 << bit
+                flipped = bob_hash(bytes(mutated))
+                flipped_bits.append(bin(reference ^ flipped).count("1"))
+        mean_flips = sum(flipped_bits) / len(flipped_bits)
+        assert 10 <= mean_flips <= 22  # ~16 expected for a good 32-bit hash
+
+
+class TestHashUnit:
+    def test_in_unit_interval(self):
+        for i in range(200):
+            value = hash_unit(i.to_bytes(4, "big"))
+            assert 0.0 <= value < 1.0
+
+    def test_uniformity_over_buckets(self):
+        """Chi-square-style check: 10 buckets over 5000 keys should
+        each hold roughly 500."""
+        buckets = [0] * 10
+        for i in range(5000):
+            buckets[int(hash_unit(i.to_bytes(8, "big")) * 10)] += 1
+        expected = 5000 / 10
+        chi2 = sum((b - expected) ** 2 / expected for b in buckets)
+        # 9 degrees of freedom; 99.9th percentile is ~27.9.
+        assert chi2 < 27.9
+
+    def test_matches_bob_hash(self):
+        data = b"some-flow"
+        assert hash_unit(data, 3) == bob_hash(data, 3) / 2**32
+
+
+class TestPairHash:
+    def test_two_values(self):
+        first, second = bob_hash_pair(b"abcdef")
+        assert first != second
+        assert 0 <= first <= 0xFFFFFFFF
+        assert 0 <= second <= 0xFFFFFFFF
+
+    def test_pair_deterministic(self):
+        assert bob_hash_pair(b"xyz", 1, 2) == bob_hash_pair(b"xyz", 1, 2)
+
+    def test_second_depends_on_second_seed(self):
+        _, s1 = bob_hash_pair(b"xyz", 0, 1)
+        _, s2 = bob_hash_pair(b"xyz", 0, 2)
+        assert s1 != s2
+
+
+@given(data=st.binary(max_size=64), seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=200, deadline=None)
+def test_property_output_range_and_determinism(data, seed):
+    value = bob_hash(data, seed)
+    assert 0 <= value <= 0xFFFFFFFF
+    assert bob_hash(data, seed) == value
+
+
+@given(data=st.binary(min_size=1, max_size=32))
+@settings(max_examples=100, deadline=None)
+def test_property_prefix_sensitivity(data):
+    """Appending a byte (almost always) changes the digest."""
+    extended = data + b"\x00"
+    # Not a strict guarantee for any hash, but collisions at rate
+    # 2^-32 will not appear in 100 examples.
+    assert bob_hash(data) != bob_hash(extended)

@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.manifest_io import load_manifests
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    @pytest.mark.parametrize(
+        "command",
+        ["plan-nids", "emulate", "solve-nips", "microbench", "online"],
+    )
+    def test_all_commands_parse_with_defaults(self, command):
+        args = build_parser().parse_args([command])
+        assert callable(args.func)
+
+
+class TestPlanNids:
+    def test_prints_load_profile(self, capsys):
+        code = main(["plan-nids", "--sessions", "600", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "objective=" in out
+        assert "NYCM" in out
+
+    def test_writes_manifest_json(self, tmp_path, capsys):
+        output = tmp_path / "manifests.json"
+        code = main(
+            [
+                "plan-nids",
+                "--sessions",
+                "600",
+                "--seed",
+                "3",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        manifests = load_manifests(output.read_text())
+        assert len(manifests) == 11
+
+    def test_redundant_coverage_flag(self, capsys):
+        code = main(
+            ["plan-nids", "--sessions", "600", "--seed", "3", "--coverage", "2"]
+        )
+        assert code == 0
+        assert "coverage=2" in capsys.readouterr().out
+
+
+class TestEmulate:
+    def test_reports_reduction(self, capsys):
+        code = main(
+            ["emulate", "--sessions", "800", "--modules", "8", "--seed", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "edge-only" in out
+        assert "coordinated" in out
+        assert "reduction" in out
+
+
+class TestSolveNips:
+    def test_reports_fraction_of_optlp(self, capsys):
+        code = main(
+            [
+                "solve-nips",
+                "--rules",
+                "20",
+                "--cam-fraction",
+                "0.2",
+                "--iterations",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OptLP upper bound" in out
+        assert "% of OptLP" in out
+
+
+class TestMicrobench:
+    def test_prints_table(self, capsys):
+        code = main(["microbench", "--sessions", "1500", "--runs", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+        assert "signature" in out
+
+
+class TestOnline:
+    def test_prints_regret_series(self, capsys):
+        code = main(["online", "--epochs", "20", "--rules", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "normalized regret" in out
+        assert "20" in out
+
+
+class TestPlanFromNetflow:
+    def test_netflow_planning_path(self, capsys):
+        code = main(
+            [
+                "plan-nids",
+                "--sessions",
+                "800",
+                "--seed",
+                "3",
+                "--netflow-sampling",
+                "0.5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "planning from NetFlow" in out
+        assert "objective=" in out

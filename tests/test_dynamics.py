@@ -1,0 +1,111 @@
+"""Tests for traffic dynamics and 95th-percentile conservative planning."""
+
+import pytest
+
+from repro.core.reconfigure import conservative_units
+from repro.core.nids_lp import solve_nids_lp
+from repro.core.units import build_units
+from repro.nids.modules import STANDARD_MODULES
+from repro.topology import PathSet, internet2
+from repro.traffic import GeneratorConfig, TrafficGenerator
+from repro.traffic.dynamics import (
+    DiurnalBurstModel,
+    headroom_for_percentile,
+    percentile,
+)
+
+
+class TestVolumeModel:
+    def test_deterministic_series(self):
+        a = DiurnalBurstModel(base_sessions=1000, seed=3).series(50)
+        b = DiurnalBurstModel(base_sessions=1000, seed=3).series(50)
+        assert a == b
+
+    def test_diurnal_shape(self):
+        model = DiurnalBurstModel(
+            base_sessions=1000, diurnal_amplitude=0.5, period=100,
+            burst_probability=0.0,
+        )
+        series = model.series(100)
+        assert max(series) == pytest.approx(1500, rel=0.02)
+        assert min(series) == pytest.approx(500, rel=0.02)
+
+    def test_bursts_appear(self):
+        model = DiurnalBurstModel(
+            base_sessions=1000, diurnal_amplitude=0.0,
+            burst_probability=0.2, burst_multiplier=3.0, seed=7,
+        )
+        series = model.series(200)
+        bursts = sum(1 for v in series if v > 2000)
+        assert 20 <= bursts <= 70  # ~20% of 200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalBurstModel(base_sessions=0)
+        with pytest.raises(ValueError):
+            DiurnalBurstModel(base_sessions=10, diurnal_amplitude=1.5)
+        with pytest.raises(ValueError):
+            DiurnalBurstModel(base_sessions=10, burst_probability=-0.1)
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3.0
+
+    def test_extremes(self):
+        values = list(range(1, 101))
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 100.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 120)
+
+
+class TestHeadroom:
+    def test_flat_history_needs_no_headroom(self):
+        assert headroom_for_percentile([100.0] * 20) == 1.0
+
+    def test_bursty_history_demands_headroom(self):
+        model = DiurnalBurstModel(
+            base_sessions=1000, burst_probability=0.1, burst_multiplier=2.5, seed=5
+        )
+        headroom = headroom_for_percentile(model.series(300))
+        assert headroom > 1.1
+
+    def test_conservative_plan_survives_p95_interval(self):
+        """The paper's §5 advice end-to-end: plan against the 95th-
+        percentile volume; a p95-sized interval's load stays within the
+        planned objective, while a mean-volume plan is exceeded."""
+        topo = internet2().set_uniform_capacities(cpu=1.0, mem=1.0)
+        paths = PathSet(topo)
+        generator = TrafficGenerator(topo, paths, config=GeneratorConfig(seed=191))
+
+        model = DiurnalBurstModel(
+            base_sessions=1500, burst_probability=0.08,
+            burst_multiplier=2.0, seed=9,
+        )
+        history = model.series(200)
+        mean_volume = int(sum(history) / len(history))
+        p95_volume = int(percentile(history, 95))
+        assert p95_volume > mean_volume
+
+        mean_units = build_units(
+            STANDARD_MODULES, generator.generate(mean_volume), paths
+        )
+        headroom = headroom_for_percentile(history, 95)
+        padded_plan = solve_nids_lp(conservative_units(mean_units, headroom), topo)
+        mean_plan = solve_nids_lp(mean_units, topo)
+
+        # A p95-sized interval: loads scale ~linearly with volume.
+        p95_units = build_units(
+            STANDARD_MODULES, generator.generate(p95_volume), paths
+        )
+        realized = solve_nids_lp(p95_units, topo).objective
+        assert realized > mean_plan.objective  # mean plan under-provisions
+        assert padded_plan.objective >= realized * 0.95  # p95 plan holds

@@ -1,0 +1,78 @@
+"""Smoke tests: every shipped example runs end to end.
+
+Examples are part of the public API surface; these tests run each
+``main()`` (with small arguments where supported) and sanity-check the
+output, so API changes that break the examples fail CI.
+"""
+
+import importlib
+import sys
+
+import pytest
+
+
+def _run_example(module_name, argv, capsys):
+    module = importlib.import_module(module_name)
+    old_argv = sys.argv
+    sys.argv = argv
+    try:
+        module.main()
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = _run_example("examples.quickstart", ["quickstart.py"], capsys)
+    assert "per-node load profile" in out
+    assert "sampling manifest" in out
+    assert "ANALYZE" in out or "skip" in out
+
+
+def test_nids_network_wide(capsys):
+    out = _run_example(
+        "examples.nids_network_wide", ["nids_network_wide.py", "1500"], capsys
+    )
+    assert "edge-only" in out
+    assert "New York" in out
+
+
+def test_online_adaptation(capsys):
+    out = _run_example(
+        "examples.online_adaptation", ["online_adaptation.py", "24"], capsys
+    )
+    assert "iid-uniform (paper)" in out
+    assert "final regret" in out
+
+
+def test_operations_center(capsys):
+    out = _run_example(
+        "examples.operations_center", ["operations_center.py"], capsys
+    )
+    assert "interval 1" in out
+    assert "handoffs" in out
+
+
+def test_redundancy_failover(capsys):
+    out = _run_example(
+        "examples.redundancy_failover", ["redundancy_failover.py"], capsys
+    )
+    assert "r=2" in out
+    assert "coverage survives" in out
+
+
+def test_provisioning_whatif(capsys):
+    out = _run_example(
+        "examples.provisioning_whatif", ["provisioning_whatif.py"], capsys
+    )
+    assert "NIDS: effect of doubling" in out
+    assert "TCAM" in out
+
+
+@pytest.mark.slow
+def test_nips_deployment(capsys):
+    out = _run_example(
+        "examples.nips_deployment", ["nips_deployment.py"], capsys
+    )
+    assert "OptLP" in out
+    assert "enforcement simulation" in out

@@ -1,0 +1,149 @@
+"""Tests for the extended module catalog."""
+
+import pytest
+
+from repro.core.nids_deployment import plan_deployment
+from repro.nids.emulation import emulate_coordinated, emulate_edge
+from repro.nids.modules import (
+    EXTENDED_MODULES,
+    STANDARD_MODULES,
+    make_detector,
+)
+from repro.topology import PathSet, internet2
+from repro.traffic import GeneratorConfig, TrafficGenerator
+from repro.traffic.profiles import TrafficProfile
+
+
+@pytest.fixture(scope="module")
+def world():
+    topo = internet2().set_uniform_capacities(cpu=1.0, mem=1.0)
+    paths = PathSet(topo)
+    generator = TrafficGenerator(topo, paths, config=GeneratorConfig(seed=201))
+    sessions = generator.generate(2000)
+    return topo, paths, generator, sessions
+
+
+class TestCatalog:
+    def test_detectors_registered(self):
+        for spec in EXTENDED_MODULES:
+            detector = make_detector(spec)
+            assert detector.spec is spec
+
+    def test_names_unique_vs_standard(self):
+        names = {m.name for m in STANDARD_MODULES} | {
+            m.name for m in EXTENDED_MODULES
+        }
+        assert len(names) == len(STANDARD_MODULES) + len(EXTENDED_MODULES)
+
+
+class TestPlanningWithExtendedSet(object):
+    def test_full_pipeline_with_extended_modules(self, world):
+        topo, paths, generator, sessions = world
+        modules = list(STANDARD_MODULES) + list(EXTENDED_MODULES)
+        deployment = plan_deployment(topo, paths, modules, sessions)
+        edge = emulate_edge(generator, sessions, modules)
+        coord = emulate_coordinated(deployment, generator, sessions)
+        assert coord.max_cpu < edge.max_cpu
+
+    def test_smtp_units_exist(self, world):
+        topo, paths, generator, sessions = world
+        modules = list(STANDARD_MODULES) + list(EXTENDED_MODULES)
+        deployment = plan_deployment(topo, paths, modules, sessions)
+        class_names = {u.class_name for u in deployment.units}
+        assert "smtp" in class_names  # mixed profile carries SMTP
+        assert "dnstunnel" in class_names  # and DNS
+
+    def test_detection_equivalence_extended(self, world):
+        """Functional equivalence holds with the extended set too."""
+        topo, paths, generator, sessions = world
+        from repro.core.dispatch import CoordinatedDispatcher, UnitResolver
+        from repro.core.manifest import full_manifest
+        from repro.nids.engine import BroInstance, BroMode
+
+        modules = list(STANDARD_MODULES) + list(EXTENDED_MODULES)
+        standalone = BroInstance(
+            "standalone", modules, BroMode.UNMODIFIED, run_detectors=True
+        ).process_sessions(sessions)
+        deployment = plan_deployment(topo, paths, modules, sessions)
+        coord = emulate_coordinated(
+            deployment, generator, sessions, run_detectors=True
+        )
+        assert coord.alert_keys() == {a.key() for a in standalone.alerts}
+
+
+class TestExtendedDetectorBehaviour:
+    def _sessions(self, app, count, src=None):
+        from repro.traffic.packet import FiveTuple, TCP, UDP
+        from repro.traffic.session import Session
+
+        port = {"smtp": 25, "dnstunnel": 53, "sshbrute": 22, "ftp": 21}[app]
+        proto = UDP if app == "dnstunnel" else TCP
+        return [
+            Session(
+                session_id=i,
+                tuple=FiveTuple(src or 1000, 2000 + i, 40000 + i, port, proto),
+                app=app,
+                ingress="a",
+                egress="b",
+                start_time=float(i),
+                num_packets=4,
+                num_bytes=400,
+            )
+            for i in range(count)
+        ]
+
+    def test_smtp_spam_burst_alert(self):
+        from repro.nids.modules import SMTPAnalyzer
+        from repro.nids.modules.extended import SMTP
+
+        detector = SMTPAnalyzer(SMTP)
+        for session in self._sessions("smtp", SMTPAnalyzer.SPAM_THRESHOLD):
+            detector.on_session(session)
+        assert len(detector.alerts) == 1
+        assert detector.alerts[0].subject == "src:1000"
+
+    def test_smtp_below_threshold_silent(self):
+        from repro.nids.modules import SMTPAnalyzer
+        from repro.nids.modules.extended import SMTP
+
+        detector = SMTPAnalyzer(SMTP)
+        for session in self._sessions("smtp", SMTPAnalyzer.SPAM_THRESHOLD - 1):
+            detector.on_session(session)
+        assert detector.alerts == []
+
+    def test_dns_tunnel_query_volume(self):
+        from repro.nids.modules import DNSTunnelDetector
+        from repro.nids.modules.extended import DNS_TUNNEL
+
+        detector = DNSTunnelDetector(DNS_TUNNEL)
+        # 4 packets per session => ~2 queries each; threshold 40 => 20 sessions.
+        for session in self._sessions("dnstunnel", 20):
+            detector.on_session(session)
+        assert len(detector.alerts) == 1
+
+    def test_ssh_brute_short_attempts_only(self):
+        from repro.nids.modules import SSHBruteDetector
+        from repro.nids.modules.extended import SSH_BRUTE
+        import dataclasses
+
+        detector = SSHBruteDetector(SSH_BRUTE)
+        long_sessions = [
+            dataclasses.replace(s, num_packets=50)
+            for s in self._sessions("sshbrute", SSHBruteDetector.ATTEMPT_THRESHOLD)
+        ]
+        for session in long_sessions:
+            detector.on_session(session)
+        assert detector.alerts == []  # interactive sessions ignored
+        for session in self._sessions("sshbrute", SSHBruteDetector.ATTEMPT_THRESHOLD):
+            detector.on_session(session)
+        assert len(detector.alerts) == 1
+
+    def test_ftp_counts_sessions(self):
+        from repro.nids.modules import FTPAnalyzer
+        from repro.nids.modules.extended import FTP
+
+        detector = FTPAnalyzer(FTP)
+        for session in self._sessions("ftp", 7):
+            detector.on_session(session)
+        assert detector.sessions_seen == 7
+        assert detector.alerts == []

@@ -1,0 +1,81 @@
+"""Failure-injection tests for the §2.5 redundancy extension.
+
+The extension exists "to be robust to NIDS failures ... e.g., hardware
+or OS crashes": with redundancy level r, every point of every unit's
+hash space is analyzed by r distinct nodes, so losing any single node
+must leave every unit still covered.
+"""
+
+import pytest
+
+from repro.core.manifest import sampled_node
+from repro.core.nids_deployment import plan_deployment
+from repro.nids.modules import STANDARD_MODULES
+from repro.topology import PathSet, internet2
+from repro.traffic import GeneratorConfig, TrafficGenerator
+
+
+@pytest.fixture(scope="module")
+def deployments():
+    topo = internet2().set_uniform_capacities(cpu=1.0, mem=1.0)
+    paths = PathSet(topo)
+    generator = TrafficGenerator(topo, paths, config=GeneratorConfig(seed=141))
+    sessions = generator.generate(1500)
+    r1 = plan_deployment(topo, paths, STANDARD_MODULES, sessions)
+    r2 = plan_deployment(topo, paths, STANDARD_MODULES, sessions, coverage=2.0)
+    return topo, r1, r2
+
+
+PROBES = (0.05, 0.2, 0.45, 0.7, 0.95)
+
+
+class TestSingleNodeFailure:
+    def test_r1_deployment_loses_coverage_on_failure(self, deployments):
+        """Baseline: without redundancy, killing a busy node orphans
+        some hash ranges (this is the gap redundancy closes)."""
+        topo, r1, _ = deployments
+        exposed = 0
+        for unit in r1.units:
+            for probe in PROBES:
+                holders = sampled_node(unit, r1.manifests, probe)
+                survivors = [h for h in holders if h != "NYCM"]
+                if not survivors and "NYCM" in holders:
+                    exposed += 1
+        assert exposed > 0
+
+    @pytest.mark.parametrize("failed", ["NYCM", "KSCY", "STTL"])
+    def test_r2_survives_any_single_failure(self, deployments, failed):
+        """With r=2, any single node failure leaves every replicable
+        unit (|eligible| >= 2) covered at every probe point."""
+        topo, _, r2 = deployments
+        for unit in r2.units:
+            if len(unit.eligible) < 2:
+                continue  # singleton units cannot be replicated
+            for probe in PROBES:
+                holders = sampled_node(unit, r2.manifests, probe)
+                survivors = [h for h in holders if h != failed]
+                assert survivors, (
+                    f"unit {unit.ident} lost all coverage at {probe}"
+                    f" when {failed} failed"
+                )
+
+    def test_r2_holders_are_distinct(self, deployments):
+        """The two holders of any point are distinct nodes — replicas
+        on the same box would not survive its crash."""
+        topo, _, r2 = deployments
+        for unit in r2.units:
+            if len(unit.eligible) < 2:
+                continue
+            for probe in PROBES:
+                holders = sampled_node(unit, r2.manifests, probe)
+                assert len(holders) == len(set(holders)) == 2
+
+    def test_singleton_units_flagged(self, deployments):
+        """Singleton units (scan at its only ingress) cannot be made
+        redundant — the planner records the reduced coverage so the
+        operator knows the residual risk."""
+        topo, _, r2 = deployments
+        singles = [u for u in r2.units if len(u.eligible) == 1]
+        assert singles  # scan/synflood units are singletons
+        for unit in singles:
+            assert r2.assignment.coverage[unit.ident] == pytest.approx(1.0)

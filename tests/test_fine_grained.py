@@ -1,0 +1,120 @@
+"""Tests for the §2.5 fine-grained coordination extension.
+
+The paper: "node 11 still needs to track all packets because a
+connection is the smallest granularity of processing. ... One direction
+of future work is to design NIDS that inherently support fine-grained
+coordination capabilities ... (e.g., first packet of a flow for Scan)."
+With ``fine_grained=True`` the engine honours scan's FIRST_PACKET
+subscription with a lightweight record, removing that duplication.
+"""
+
+import pytest
+
+from repro.core.nids_deployment import plan_deployment
+from repro.nids.emulation import emulate_coordinated
+from repro.nids.engine import BroInstance, BroMode, TrackingLevel
+from repro.nids.modules import SCAN, STANDARD_MODULES, module_set
+from repro.nids.modules.base import Subscription
+from repro.topology import PathSet, internet2
+from repro.traffic import GeneratorConfig, TrafficGenerator
+
+
+@pytest.fixture(scope="module")
+def world():
+    topo = internet2().set_uniform_capacities(cpu=1.0, mem=1.0)
+    paths = PathSet(topo)
+    generator = TrafficGenerator(topo, paths, config=GeneratorConfig(seed=131))
+    sessions = generator.generate(4000)
+    deployment = plan_deployment(topo, paths, module_set(21), sessions)
+    return topo, generator, sessions, deployment
+
+
+class TestSubscriptionModel:
+    def test_scan_subscribes_to_first_packets(self):
+        assert SCAN.subscription is Subscription.FIRST_PACKET
+
+    def test_other_modules_need_full_connections(self):
+        for spec in STANDARD_MODULES:
+            if spec.name != "scan":
+                assert spec.subscription is Subscription.FULL_CONNECTION
+
+
+class TestTrackingLevels:
+    def test_ingress_downgraded_to_light(self, world):
+        """At an ingress whose only responsibility for a session is
+        scan, fine-grained mode creates a light record, not a full one."""
+        topo, generator, sessions, deployment = world
+        node = "NYCM"
+        full = BroInstance(
+            node,
+            deployment.modules,
+            BroMode.COORD_EVENT,
+            dispatcher=deployment.dispatcher(node),
+        )
+        fine = BroInstance(
+            node,
+            deployment.modules,
+            BroMode.COORD_EVENT,
+            dispatcher=deployment.dispatcher(node),
+            fine_grained=True,
+        )
+        trace = generator.split_by_node(sessions, transit=True)[node]
+        full_report = full.process_sessions(trace)
+        fine_report = fine.process_sessions(trace)
+        assert fine_report.light_connections > 0
+        assert (
+            fine_report.tracked_connections < full_report.tracked_connections
+        )
+        # Light + full under fine-grained >= full tracking coverage:
+        # nothing scan needed is dropped.
+        assert (
+            fine_report.tracked_connections + fine_report.light_connections
+            >= full_report.tracked_connections
+        )
+
+    def test_fine_grained_reduces_hot_node_load(self, world):
+        """The extension's promised benefit: less duplicated baseline
+        work at the scan-forced ingresses lowers CPU and memory."""
+        topo, generator, sessions, deployment = world
+        coarse = emulate_coordinated(deployment, generator, sessions)
+        fine = emulate_coordinated(
+            deployment, generator, sessions, fine_grained=True
+        )
+        assert fine.max_cpu < coarse.max_cpu
+        assert fine.max_mem_bytes < coarse.max_mem_bytes
+
+    def test_module_work_unchanged(self, world):
+        """Fine-grained tracking changes *state* costs only — the
+        analysis work performed (and hence detection) is identical."""
+        topo, generator, sessions, deployment = world
+        coarse = emulate_coordinated(deployment, generator, sessions)
+        fine = emulate_coordinated(
+            deployment, generator, sessions, fine_grained=True
+        )
+        for node in topo.node_names:
+            assert fine.reports[node].module_cpu == pytest.approx(
+                coarse.reports[node].module_cpu
+            )
+
+    def test_detection_equivalence_preserved(self, world):
+        topo, generator, sessions, _ = world
+        deployment = plan_deployment(
+            topo, generator.paths, STANDARD_MODULES, sessions
+        )
+        coarse = emulate_coordinated(
+            deployment, generator, sessions, run_detectors=True
+        )
+        fine = emulate_coordinated(
+            deployment, generator, sessions, run_detectors=True, fine_grained=True
+        )
+        assert fine.alert_keys() == coarse.alert_keys()
+
+    def test_unmodified_mode_unaffected(self, world):
+        topo, generator, sessions, deployment = world
+        instance = BroInstance(
+            "STTL", deployment.modules, BroMode.UNMODIFIED, fine_grained=True
+        )
+        trace = generator.split_by_node(sessions, transit=False)["STTL"]
+        report = instance.process_sessions(trace)
+        assert report.light_connections == 0
+        assert report.tracked_connections == len(trace)

@@ -1,0 +1,120 @@
+"""Tests for the extra topology generators, including end-to-end
+planning on each family."""
+
+import pytest
+
+from repro.core.nids_deployment import plan_deployment
+from repro.nids.modules import STANDARD_MODULES
+from repro.topology import PathSet
+from repro.topology.generators import leaf_spine, ring, waxman
+from repro.traffic import GeneratorConfig, TrafficGenerator
+
+
+class TestWaxman:
+    def test_connected_and_sized(self):
+        for size in (5, 15, 30):
+            topo = waxman(size, seed=size)
+            assert len(topo) == size  # constructor validates connectivity
+
+    def test_deterministic(self):
+        a, b = waxman(12, seed=4), waxman(12, seed=4)
+        assert [(l.a, l.b) for l in a.links] == [(l.a, l.b) for l in b.links]
+
+    def test_denser_with_alpha(self):
+        sparse = waxman(20, seed=1, alpha=0.1)
+        dense = waxman(20, seed=1, alpha=0.9)
+        assert len(dense.links) > len(sparse.links)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            waxman(1)
+
+
+class TestRing:
+    def test_every_node_degree_two(self):
+        topo = ring(8)
+        for name in topo.node_names:
+            assert topo.degree(name) == 2
+
+    def test_link_count(self):
+        assert len(ring(11).links) == 11
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            ring(2)
+
+    def test_long_paths(self):
+        paths = PathSet(ring(10))
+        assert paths.mean_path_length() > 3.0
+
+
+class TestLeafSpine:
+    def test_structure(self):
+        topo = leaf_spine(6, num_spines=2)
+        assert len(topo) == 8
+        assert len(topo.links) == 12
+        for s in range(2):
+            assert topo.degree(f"spine{s:02d}") == 6
+
+    def test_leaf_to_leaf_three_hops(self):
+        topo = leaf_spine(6, num_spines=2)
+        paths = PathSet(topo)
+        for i in range(6):
+            for j in range(6):
+                if i == j:
+                    continue
+                path = paths.path(f"leaf{i:02d}", f"leaf{j:02d}")
+                assert len(path) == 3
+                assert path.nodes[1].startswith("spine")
+
+    def test_spines_carry_no_gravity_traffic(self):
+        from repro.topology.gravity import gravity_fractions
+
+        topo = leaf_spine(4, num_spines=2)
+        fractions = gravity_fractions(topo.populations)
+        spine_mass = sum(
+            f
+            for (src, dst), f in fractions.items()
+            if src.startswith("spine") or dst.startswith("spine")
+        )
+        assert spine_mass < 1e-6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            leaf_spine(1)
+
+
+class TestPlanningOnEachFamily:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: waxman(10, seed=2),
+            lambda: ring(8, seed=2),
+            lambda: leaf_spine(5, num_spines=2, seed=2),
+        ],
+        ids=["waxman", "ring", "leaf-spine"],
+    )
+    def test_full_pipeline(self, factory):
+        topo = factory().set_uniform_capacities(cpu=1.0, mem=1.0)
+        paths = PathSet(topo)
+        generator = TrafficGenerator(topo, paths, config=GeneratorConfig(seed=3))
+        sessions = generator.generate(600)
+        deployment = plan_deployment(topo, paths, STANDARD_MODULES, sessions)
+        assert deployment.objective > 0
+        from repro.core.manifest import verify_manifests
+
+        verify_manifests(deployment.units, deployment.manifests)
+
+    def test_ring_coordination_gain_large(self):
+        """On a ring, transit concentration makes coordination's CPU
+        win especially pronounced — long paths mean many helpers."""
+        from repro.nids.emulation import emulate_coordinated, emulate_edge
+
+        topo = ring(10, seed=5).set_uniform_capacities(cpu=1.0, mem=1.0)
+        paths = PathSet(topo)
+        generator = TrafficGenerator(topo, paths, config=GeneratorConfig(seed=5))
+        sessions = generator.generate(1500)
+        deployment = plan_deployment(topo, paths, STANDARD_MODULES, sessions)
+        edge = emulate_edge(generator, sessions, STANDARD_MODULES)
+        coord = emulate_coordinated(deployment, generator, sessions)
+        assert coord.max_cpu < edge.max_cpu

@@ -1,0 +1,107 @@
+"""End-to-end integration tests across the full pipelines."""
+
+import random
+
+import pytest
+
+import repro
+from repro.core import (
+    RoundingVariant,
+    best_of_roundings,
+    plan_deployment,
+    solve_relaxation,
+)
+from repro.core.manifest import verify_manifests
+from repro.nids.emulation import emulate_coordinated, emulate_edge
+from repro.nids.modules import STANDARD_MODULES
+from repro.nips.enforcement import enforce
+from repro.topology import PathSet, geant, internet2
+from repro.traffic import GeneratorConfig, TrafficGenerator, attack_heavy_profile
+from tests.test_nips_milp import small_problem
+
+
+class TestQuickstart:
+    def test_quick_nids_deployment(self):
+        deployment = repro.quick_nids_deployment(num_sessions=800, seed=2)
+        assert deployment.objective > 0
+        verify_manifests(deployment.units, deployment.manifests)
+        assert len(deployment.manifests) == 11
+
+
+class TestNIDSPipelineOnGeant:
+    """The full NIDS pipeline on a different topology end to end."""
+
+    def test_geant_deployment(self):
+        topo = geant().set_uniform_capacities(cpu=1.0, mem=1.0)
+        paths = PathSet(topo)
+        generator = TrafficGenerator(
+            topo, paths, config=GeneratorConfig(seed=91)
+        )
+        sessions = generator.generate(2500)
+        deployment = plan_deployment(topo, paths, STANDARD_MODULES, sessions)
+        edge = emulate_edge(generator, sessions, STANDARD_MODULES)
+        coord = emulate_coordinated(deployment, generator, sessions)
+        assert coord.max_cpu < edge.max_cpu
+        # Complete coverage: aggregate module work must be preserved.
+        expected = sum(
+            spec.session_cpu(s) for spec in STANDARD_MODULES for s in sessions
+        )
+        measured = sum(
+            sum(r.module_cpu.values()) for r in coord.reports.values()
+        )
+        assert measured == pytest.approx(expected, rel=1e-6)
+
+
+class TestAttackHeavyWorkload:
+    def test_deployment_under_attack_profile(self):
+        topo = internet2().set_uniform_capacities(cpu=1.0, mem=1.0)
+        paths = PathSet(topo)
+        generator = TrafficGenerator(
+            topo,
+            paths,
+            profile=attack_heavy_profile(),
+            config=GeneratorConfig(seed=92),
+        )
+        sessions = generator.generate(2500)
+        deployment = plan_deployment(topo, paths, STANDARD_MODULES, sessions)
+        coord = emulate_coordinated(
+            deployment, generator, sessions, run_detectors=True
+        )
+        alerts = coord.alert_keys()
+        assert alerts  # the attack-heavy mix must trip detectors
+        modules_alerting = {module for module, _ in alerts}
+        assert "signature" in modules_alerting
+
+
+class TestNIPSPipeline:
+    def test_round_then_enforce(self):
+        problem = small_problem(num_rules=6, cam=2.0, seed=43, num_nodes=7)
+        relaxed = solve_relaxation(problem)
+        best = best_of_roundings(
+            problem,
+            RoundingVariant.GREEDY_LP,
+            iterations=4,
+            seed=7,
+            relaxed=relaxed,
+        )
+        report = enforce(problem, best.solution)
+        assert report.footprint_removed == pytest.approx(
+            best.solution.objective, rel=1e-6
+        )
+        assert report.footprint_removed <= relaxed.objective + 1e-6
+        assert report.load_within_model()
+        assert best.fraction_of_lp >= 0.8  # small instances round well
+
+
+class TestRedundantDeploymentEndToEnd:
+    def test_r2_deployment_verifies_and_costs_more(self):
+        topo = internet2().set_uniform_capacities(cpu=1.0, mem=1.0)
+        paths = PathSet(topo)
+        generator = TrafficGenerator(topo, paths, config=GeneratorConfig(seed=93))
+        sessions = generator.generate(1200)
+        base = plan_deployment(topo, paths, STANDARD_MODULES, sessions)
+        redundant = plan_deployment(
+            topo, paths, STANDARD_MODULES, sessions, coverage=2.0
+        )
+        verify_manifests(redundant.units, redundant.manifests)
+        assert redundant.objective > base.objective

@@ -1,0 +1,112 @@
+"""Tests for hash-key extraction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.keys import (
+    Aggregation,
+    RECORD_HASH_FIELDS,
+    destination_key,
+    flow_key,
+    host_pair_key,
+    key_for,
+    key_hash_unit,
+    session_key,
+    source_key,
+)
+
+host = st.integers(min_value=0, max_value=2**40 - 1)
+port = st.integers(min_value=0, max_value=65535)
+proto = st.sampled_from([6, 17, 1])
+
+
+class TestSessionKey:
+    def test_direction_independent(self):
+        forward = session_key(1001, 2002, 40000, 80, 6)
+        backward = session_key(2002, 1001, 80, 40000, 6)
+        assert forward == backward
+
+    def test_distinct_sessions_distinct_keys(self):
+        a = session_key(1, 2, 1234, 80, 6)
+        b = session_key(1, 2, 1235, 80, 6)
+        assert a != b
+
+    def test_proto_matters(self):
+        assert session_key(1, 2, 53, 53, 6) != session_key(1, 2, 53, 53, 17)
+
+
+class TestFlowKey:
+    def test_direction_dependent(self):
+        assert flow_key(1, 2, 10, 20, 6) != flow_key(2, 1, 20, 10, 6)
+
+    def test_field_sensitivity(self):
+        base = flow_key(1, 2, 10, 20, 6)
+        assert flow_key(3, 2, 10, 20, 6) != base
+        assert flow_key(1, 3, 10, 20, 6) != base
+        assert flow_key(1, 2, 11, 20, 6) != base
+        assert flow_key(1, 2, 10, 21, 6) != base
+        assert flow_key(1, 2, 10, 20, 17) != base
+
+
+class TestEndpointKeys:
+    def test_source_key_only_uses_source(self):
+        assert source_key(42) == source_key(42)
+        assert source_key(42) != source_key(43)
+
+    def test_destination_key(self):
+        assert destination_key(7) != destination_key(8)
+
+    def test_host_pair_unordered(self):
+        assert host_pair_key(3, 9) == host_pair_key(9, 3)
+
+
+class TestKeyFor:
+    @pytest.mark.parametrize("aggregation", list(Aggregation))
+    def test_dispatches_every_aggregation(self, aggregation):
+        key = key_for(aggregation, 1, 2, 3, 4, 6)
+        assert isinstance(key, bytes) and key
+
+    def test_flow_vs_session(self):
+        flow = key_for(Aggregation.FLOW, 5, 6, 100, 200, 6)
+        session = key_for(Aggregation.SESSION, 5, 6, 100, 200, 6)
+        assert flow != session
+
+    def test_source_matches_source_key(self):
+        assert key_for(Aggregation.SOURCE, 5, 6, 1, 2, 6) == source_key(5)
+
+
+class TestKeyHashUnit:
+    def test_in_unit_interval(self):
+        value = key_hash_unit(Aggregation.SESSION, 1, 2, 3, 4, 6)
+        assert 0.0 <= value < 1.0
+
+    def test_keyed_hash_defeats_prediction(self):
+        """Different administrator seeds give different placements —
+        the Section 3.2 defense against evasion."""
+        args = (Aggregation.FLOW, 1, 2, 3, 4, 6)
+        assert key_hash_unit(*args, seed=1) != key_hash_unit(*args, seed=2)
+
+    def test_record_hash_fields_cover_standard_aggregations(self):
+        assert Aggregation.FLOW in RECORD_HASH_FIELDS
+        assert Aggregation.SESSION in RECORD_HASH_FIELDS
+        assert Aggregation.SOURCE in RECORD_HASH_FIELDS
+        assert Aggregation.DESTINATION in RECORD_HASH_FIELDS
+
+
+@given(src=host, dst=host, sport=port, dport=port, proto=proto)
+@settings(max_examples=200, deadline=None)
+def test_property_session_key_symmetric(src, dst, sport, dport, proto):
+    assert session_key(src, dst, sport, dport, proto) == session_key(
+        dst, src, dport, sport, proto
+    )
+
+
+@given(src=host, dst=host, sport=port, dport=port, proto=proto, seed=st.integers(0, 2**31))
+@settings(max_examples=150, deadline=None)
+def test_property_session_hash_direction_consistent(src, dst, sport, dport, proto, seed):
+    """Both directions of a connection hash to the same value — the
+    invariant that lets one node analyze a full session."""
+    forward = key_hash_unit(Aggregation.SESSION, src, dst, sport, dport, proto, seed)
+    backward = key_hash_unit(Aggregation.SESSION, dst, src, dport, sport, proto, seed)
+    assert forward == backward

@@ -1,0 +1,288 @@
+"""Tests for the LP modeling layer, solver backend, and MILP search."""
+
+import math
+
+import pytest
+
+from repro.lp import (
+    LinearProgram,
+    LinExpr,
+    Relation,
+    Sense,
+    SolveStatus,
+    SolverError,
+    linear_sum,
+    solve,
+    solve_milp,
+    solve_or_raise,
+)
+
+
+class TestLinExpr:
+    def test_variable_arithmetic(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        y = lp.add_variable("y")
+        expr = 2 * x + y - 3
+        assert expr.coefficients == {x.index: 2.0, y.index: 1.0}
+        assert expr.constant == -3.0
+
+    def test_negation_and_subtraction(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        expr = -(x - 5)
+        assert expr.coefficients[x.index] == -1.0
+        assert expr.constant == 5.0
+
+    def test_rsub(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        expr = 10 - x
+        assert expr.coefficients[x.index] == -1.0
+        assert expr.constant == 10.0
+
+    def test_division(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        expr = (4 * x) / 2
+        assert expr.coefficients[x.index] == pytest.approx(2.0)
+
+    def test_evaluate(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        y = lp.add_variable("y")
+        expr = 3 * x + 2 * y + 1
+        assert expr.evaluate([2.0, 5.0]) == pytest.approx(17.0)
+
+    def test_linear_sum_merges_terms(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        total = linear_sum([x, x * 2, 5, LinExpr({}, 1.0)])
+        assert total.coefficients[x.index] == pytest.approx(3.0)
+        assert total.constant == pytest.approx(6.0)
+
+    def test_relations_build_constraints(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        le = x <= 5
+        ge = x >= 1
+        eq = x.equals(3)
+        assert le.relation is Relation.LE
+        assert ge.relation is Relation.GE
+        assert eq.relation is Relation.EQ
+
+
+class TestLinearProgram:
+    def test_duplicate_names_rejected(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        with pytest.raises(ValueError):
+            lp.add_variable("x")
+
+    def test_variable_by_name(self):
+        lp = LinearProgram()
+        lp.add_variable("a")
+        b = lp.add_variable("b")
+        assert lp.variable_by_name("b").index == b.index
+
+    def test_is_feasible(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", ub=10)
+        lp.add_constraint(x >= 2)
+        assert lp.is_feasible([5.0])
+        assert not lp.is_feasible([1.0])
+        assert not lp.is_feasible([11.0])
+        assert not lp.is_feasible([])
+
+    def test_constraint_slack(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        c = lp.add_constraint(x <= 4)
+        assert c.slack([3.0]) == pytest.approx(1.0)
+        assert c.slack([5.0]) == pytest.approx(-1.0)
+
+    def test_add_constraint_type_check(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        with pytest.raises(TypeError):
+            lp.add_constraint(x)  # type: ignore[arg-type]
+
+
+class TestSolver:
+    def test_minimize(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", lb=1.0)
+        y = lp.add_variable("y", lb=2.0)
+        lp.set_objective(x + y, Sense.MINIMIZE)
+        solution = solve_or_raise(lp)
+        assert solution.objective == pytest.approx(3.0)
+
+    def test_maximize_reports_model_sense(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", ub=4.0)
+        y = lp.add_variable("y", ub=4.0)
+        lp.add_constraint(x + y <= 5.0)
+        lp.set_objective(3 * x + 2 * y, Sense.MAXIMIZE)
+        solution = solve_or_raise(lp)
+        assert solution.objective == pytest.approx(14.0)
+        assert solution.value(x) == pytest.approx(4.0)
+        assert solution.value(y) == pytest.approx(1.0)
+
+    def test_equality_constraint(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        y = lp.add_variable("y")
+        lp.add_constraint((x + y).equals(10.0))
+        lp.set_objective(x, Sense.MINIMIZE)
+        solution = solve_or_raise(lp)
+        assert solution.value(x) + solution.value(y) == pytest.approx(10.0)
+        assert solution.value(x) == pytest.approx(0.0)
+
+    def test_infeasible(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", ub=1.0)
+        lp.add_constraint(x >= 2.0)
+        lp.set_objective(x, Sense.MINIMIZE)
+        assert solve(lp).status is SolveStatus.INFEASIBLE
+        with pytest.raises(SolverError):
+            solve_or_raise(lp)
+
+    def test_unbounded(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        lp.set_objective(x, Sense.MAXIMIZE)
+        assert solve(lp).status is SolveStatus.UNBOUNDED
+
+    def test_value_by_name_and_dict(self):
+        lp = LinearProgram()
+        x = lp.add_variable("price", lb=3.0)
+        lp.set_objective(x, Sense.MINIMIZE)
+        solution = solve_or_raise(lp)
+        assert solution.value_by_name("price") == pytest.approx(3.0)
+        assert solution.as_dict()["price"] == pytest.approx(3.0)
+
+    def test_solution_satisfies_model(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", ub=7)
+        y = lp.add_variable("y", ub=7)
+        lp.add_constraint(2 * x + y <= 10)
+        lp.add_constraint(x + 3 * y <= 15)
+        lp.set_objective(x + y, Sense.MAXIMIZE)
+        solution = solve_or_raise(lp)
+        assert lp.is_feasible(solution.values)
+
+    def test_solve_seconds_recorded(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", lb=1.0)
+        lp.set_objective(x, Sense.MINIMIZE)
+        assert solve_or_raise(lp).solve_seconds >= 0.0
+
+
+class TestMILP:
+    def _knapsack(self, values, weights, capacity):
+        lp = LinearProgram("knapsack")
+        variables = [lp.add_variable(f"b{i}", binary=True) for i in range(len(values))]
+        lp.add_constraint(
+            linear_sum(v * w for v, w in zip(variables, weights)) <= capacity
+        )
+        lp.set_objective(
+            linear_sum(v * value for v, value in zip(variables, values)),
+            Sense.MAXIMIZE,
+        )
+        return lp, variables
+
+    def test_knapsack_exact(self):
+        lp, _ = self._knapsack([6, 5, 4], [5, 4, 3], 8)
+        result = solve_milp(lp)
+        assert result.objective == pytest.approx(10.0)
+        assert result.proved_optimal
+
+    def test_binary_values_integral(self):
+        lp, variables = self._knapsack([10, 7, 3, 2], [4, 3, 2, 1], 6)
+        result = solve_milp(lp)
+        for var in variables:
+            value = result.values[var.index]
+            assert abs(value - round(value)) < 1e-6
+
+    def test_matches_bruteforce(self):
+        import itertools
+
+        values, weights, capacity = [7, 9, 4, 6, 3], [3, 5, 2, 4, 1], 9
+        best = max(
+            sum(v for v, pick in zip(values, picks) if pick)
+            for picks in itertools.product([0, 1], repeat=5)
+            if sum(w for w, pick in zip(weights, picks) if pick) <= capacity
+        )
+        lp, _ = self._knapsack(values, weights, capacity)
+        assert solve_milp(lp).objective == pytest.approx(best)
+
+    def test_milp_never_beats_relaxation(self):
+        lp, _ = self._knapsack([6, 5, 4], [5, 4, 3], 8)
+        relaxed = solve_or_raise(lp)
+        integral = solve_milp(lp)
+        assert integral.objective <= relaxed.objective + 1e-6
+
+    def test_infeasible_milp(self):
+        lp = LinearProgram()
+        b = lp.add_variable("b", binary=True)
+        lp.add_constraint(b >= 2.0)
+        lp.set_objective(b, Sense.MAXIMIZE)
+        result = solve_milp(lp)
+        assert result.status is SolveStatus.INFEASIBLE
+
+    def test_minimization_milp(self):
+        lp = LinearProgram()
+        a = lp.add_variable("a", binary=True)
+        b = lp.add_variable("b", binary=True)
+        lp.add_constraint(a + b >= 1.0)
+        lp.set_objective(3 * a + 2 * b, Sense.MINIMIZE)
+        result = solve_milp(lp)
+        assert result.objective == pytest.approx(2.0)
+        assert round(result.value_by_name("b")) == 1
+
+    def test_continuous_variables_stay_fractional(self):
+        lp = LinearProgram()
+        b = lp.add_variable("b", binary=True)
+        x = lp.add_variable("x", ub=10.0)
+        lp.add_constraint(x <= 2.5 + 5 * b)
+        lp.set_objective(x, Sense.MAXIMIZE)
+        result = solve_milp(lp)
+        assert result.objective == pytest.approx(7.5)
+
+
+class TestDuals:
+    def test_shadow_price_of_binding_constraint(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", ub=4.0)
+        y = lp.add_variable("y", ub=4.0)
+        lp.add_constraint(x + y <= 5.0, name="budget")
+        lp.set_objective(3 * x + 2 * y, Sense.MAXIMIZE)
+        solution = solve_or_raise(lp)
+        # Relaxing the budget by 1 admits one more unit of y (+2).
+        assert solution.dual_by_name("budget") == pytest.approx(2.0)
+
+    def test_nonbinding_constraint_zero_dual(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", ub=1.0)
+        lp.add_constraint(x <= 100.0, name="slack")
+        lp.set_objective(x, Sense.MAXIMIZE)
+        solution = solve_or_raise(lp)
+        assert solution.dual_by_name("slack") == pytest.approx(0.0)
+
+    def test_unknown_name_raises(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", lb=1.0)
+        lp.set_objective(x, Sense.MINIMIZE)
+        solution = solve_or_raise(lp)
+        with pytest.raises(KeyError):
+            solution.dual_by_name("nonexistent")
+
+    def test_equality_dual_reported(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        y = lp.add_variable("y")
+        lp.add_constraint((x + y).equals(10.0), name="balance")
+        lp.set_objective(2 * x + y, Sense.MINIMIZE)
+        solution = solve_or_raise(lp)
+        # Cheapest way to satisfy the equality is all-y (cost 1/unit).
+        assert solution.dual_by_name("balance") == pytest.approx(1.0)

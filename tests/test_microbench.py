@@ -1,0 +1,70 @@
+"""Tests for the Fig. 5 microbenchmark harness and its paper bands."""
+
+import pytest
+
+from repro.nids.microbench import (
+    MICROBENCH_ORDER,
+    format_microbench_table,
+    run_microbenchmark,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_microbenchmark(num_sessions=4000, runs=2)
+
+
+class TestStructure:
+    def test_all_rows_present_in_order(self, rows):
+        assert [r.module for r in rows] == list(MICROBENCH_ORDER)
+
+    def test_stats_consistent(self, rows):
+        for row in rows:
+            for stats in (row.cpu_policy, row.cpu_event, row.mem_policy, row.mem_event):
+                assert stats.minimum <= stats.mean <= stats.maximum
+
+    def test_table_renders(self, rows):
+        table = format_microbench_table(rows)
+        assert "baseline" in table
+        assert "signature" in table
+
+
+class TestPaperBands:
+    """The Fig. 5 bands: ~2% for baseline/signature/blaster/synflood,
+    ~10% for scan/tftp, large only for HTTP/IRC/Login under policy-
+    engine checks, and memory overhead at most 6%."""
+
+    def _row(self, rows, name):
+        return next(r for r in rows if r.module == name)
+
+    @pytest.mark.parametrize("module", ["baseline", "signature", "blaster", "synflood"])
+    def test_cheap_modules_around_two_percent(self, rows, module):
+        row = self._row(rows, module)
+        assert row.cpu_policy.mean < 0.06
+        assert row.cpu_event.mean < 0.06
+
+    @pytest.mark.parametrize("module", ["scan", "tftp"])
+    def test_policy_stage_modules_near_ten_percent(self, rows, module):
+        row = self._row(rows, module)
+        assert 0.05 < row.cpu_policy.mean < 0.15
+        # Checks cannot be hoisted: both variants cost the same.
+        assert row.cpu_event.mean == pytest.approx(row.cpu_policy.mean, rel=1e-6)
+
+    @pytest.mark.parametrize("module", ["http", "irc", "login"])
+    def test_hoistable_modules_expensive_in_policy_engine(self, rows, module):
+        row = self._row(rows, module)
+        assert row.cpu_policy.mean > 0.05
+        assert row.cpu_event.mean < 0.05
+        assert row.cpu_event.mean < row.cpu_policy.mean
+
+    def test_memory_overhead_at_most_six_percent(self, rows):
+        for row in rows:
+            assert row.mem_policy.mean <= 0.06
+            assert row.mem_event.mean <= 0.06
+
+    def test_all_overheads_nonnegative(self, rows):
+        for row in rows:
+            assert row.cpu_policy.minimum >= 0.0
+            assert row.cpu_event.minimum >= 0.0
+            assert row.mem_policy.minimum >= 0.0
+            assert row.mem_event.minimum >= 0.0

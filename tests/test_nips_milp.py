@@ -1,0 +1,228 @@
+"""Tests for the NIPS MILP formulation (Eqs. 7-14)."""
+
+import random
+
+import pytest
+
+from repro.core.nips_milp import (
+    INTERNET2_BASE_FLOWS,
+    INTERNET2_BASE_PACKETS,
+    NIPSProblem,
+    build_nips_problem,
+    solve_exact,
+    solve_relaxation,
+    solve_with_fixed_rules,
+)
+from repro.nips.rules import MatchRateMatrix, NIPSRule, unit_rules
+from repro.topology import DistanceMetric, PathSet, internet2, random_pop_topology
+
+
+def small_problem(num_rules=4, cam=2.0, seed=5, num_nodes=5):
+    topo = random_pop_topology(num_nodes, seed=seed).set_uniform_capacities(
+        cpu=200_000.0, mem=50_000.0, cam=cam
+    )
+    rules = unit_rules(num_rules)
+    pairs = [(a, b) for a in topo.node_names for b in topo.node_names if a != b]
+    match = MatchRateMatrix.uniform(rules, pairs, random.Random(seed))
+    return build_nips_problem(
+        topo, rules, match, total_flows=500_000.0, total_packets=2_000_000.0
+    )
+
+
+@pytest.fixture(scope="module")
+def i2_problem():
+    topo = internet2().set_uniform_capacities(
+        cpu=2_000_000.0, mem=400_000.0, cam=10.0
+    )
+    rules = unit_rules(30)
+    pairs = [(a, b) for a in topo.node_names for b in topo.node_names if a != b]
+    match = MatchRateMatrix.uniform(rules, pairs, random.Random(2))
+    return build_nips_problem(topo, rules, match)
+
+
+class TestProblemConstruction:
+    def test_volume_model_defaults(self, i2_problem):
+        assert sum(i2_problem.items.values()) == pytest.approx(INTERNET2_BASE_FLOWS)
+        assert sum(i2_problem.pkts.values()) == pytest.approx(INTERNET2_BASE_PACKETS)
+
+    def test_volume_scales_with_network_size(self):
+        topo = random_pop_topology(22, seed=1).set_uniform_capacities(cam=5.0)
+        rules = unit_rules(5)
+        pairs = [(a, b) for a in topo.node_names for b in topo.node_names if a != b]
+        match = MatchRateMatrix.uniform(rules, pairs, random.Random(1))
+        problem = build_nips_problem(topo, rules, match)
+        assert sum(problem.items.values()) == pytest.approx(
+            INTERNET2_BASE_FLOWS * 22 / 11
+        )
+
+    def test_paths_and_dist_consistent(self, i2_problem):
+        for pair, path in i2_problem.paths.items():
+            dist = i2_problem.dist[pair]
+            assert set(dist) == set(path.nodes)
+            # Hops metric: ingress sees the whole path, egress sees 1.
+            assert dist[path.nodes[0]] == len(path)
+            assert dist[path.nodes[-1]] == 1.0
+
+    def test_unit_distance_metric(self):
+        topo = internet2().set_uniform_capacities(cam=3.0)
+        rules = unit_rules(3)
+        pairs = [("STTL", "NYCM")]
+        match = MatchRateMatrix.uniform(rules, pairs, random.Random(0))
+        problem = build_nips_problem(
+            topo, rules, match, metric=DistanceMetric.UNIT
+        )
+        for dist in problem.dist.values():
+            assert set(dist.values()) == {1.0}
+
+
+class TestObjectiveAndFeasibility:
+    def test_objective_formula(self, i2_problem):
+        pair = i2_problem.pairs[0]
+        node = i2_problem.paths[pair].nodes[0]
+        d = {(0, pair, node): 0.5}
+        expected = (
+            i2_problem.items[pair]
+            * i2_problem.match.rate(0, pair)
+            * i2_problem.dist[pair][node]
+            * 0.5
+        )
+        assert i2_problem.objective(d) == pytest.approx(expected)
+
+    def test_feasibility_checker_accepts_valid(self, i2_problem):
+        pair = i2_problem.pairs[0]
+        node = i2_problem.paths[pair].nodes[0]
+        e = {(0, node): 1}
+        d = {(0, pair, node): 0.001}
+        assert i2_problem.check_feasible(e, d) == []
+
+    def test_feasibility_checker_catches_unlinked_d(self, i2_problem):
+        pair = i2_problem.pairs[0]
+        node = i2_problem.paths[pair].nodes[0]
+        violations = i2_problem.check_feasible({}, {(0, pair, node): 0.5})
+        assert any("exceeds e" in v for v in violations)
+
+    def test_feasibility_checker_catches_cam_overflow(self, i2_problem):
+        node = i2_problem.topology.node_names[0]
+        e = {(i, node): 1 for i in range(30)}  # cam capacity is 10
+        violations = i2_problem.check_feasible(e, {})
+        assert any("TCAM" in v for v in violations)
+
+    def test_feasibility_checker_catches_path_oversampling(self, i2_problem):
+        pair = i2_problem.pairs[0]
+        nodes = i2_problem.paths[pair].nodes
+        if len(nodes) < 2:
+            pytest.skip("need a multi-hop path")
+        e = {(0, n): 1 for n in nodes[:2]}
+        d = {(0, pair, nodes[0]): 0.7, (0, pair, nodes[1]): 0.7}
+        violations = i2_problem.check_feasible(e, d)
+        assert any("sum to" in v for v in violations)
+
+
+class TestRelaxation:
+    def test_relaxation_solution_feasible_fractionally(self, i2_problem):
+        relaxed = solve_relaxation(i2_problem)
+        assert relaxed.objective > 0
+        # Fractional e is allowed in the relaxation; d <= e must hold.
+        for (i, pair, node), value in relaxed.d.items():
+            assert value <= relaxed.e[(i, node)] + 1e-6
+
+    def test_relaxation_respects_cam_fractionally(self, i2_problem):
+        relaxed = solve_relaxation(i2_problem)
+        for node in i2_problem.topology.node_names:
+            used = sum(
+                value
+                for (i, n), value in relaxed.e.items()
+                if n == node
+            )
+            assert used <= i2_problem.topology.node(node).cam_capacity + 1e-6
+
+    def test_more_tcam_cannot_hurt(self):
+        base = small_problem(cam=1.0)
+        more = small_problem(cam=3.0)
+        assert solve_relaxation(more).objective >= solve_relaxation(base).objective - 1e-6
+
+
+class TestExactVsRelaxation:
+    def test_relaxation_upper_bounds_exact(self):
+        problem = small_problem(num_rules=3, cam=1.0, num_nodes=4)
+        relaxed = solve_relaxation(problem)
+        exact = solve_exact(problem)
+        assert exact.feasible
+        assert exact.objective <= relaxed.objective + 1e-6
+
+    def test_exact_solution_feasible(self):
+        problem = small_problem(num_rules=3, cam=1.0, num_nodes=4)
+        built_exact = solve_exact(problem)
+        # Reconstruct e/d maps from the named variables.
+        e = {}
+        d = {}
+        for name, value in zip(built_exact.variable_names, built_exact.values):
+            if name.startswith("e["):
+                i, node = name[2:-1].split("|")
+                e[(int(i), node)] = round(value)
+            elif name.startswith("d["):
+                i, pair_str, node = name[2:-1].split("|")
+                a, b = pair_str.split("-")
+                d[(int(i), (a, b), node)] = value
+        assert problem.check_feasible(e, d) == []
+
+
+class TestFixedRuleLP:
+    def test_restricted_lp_respects_placement(self, i2_problem):
+        # Enable rule 0 everywhere, others nowhere.
+        fixed = {
+            (i, node): (1 if i == 0 else 0)
+            for i in range(i2_problem.num_rules)
+            for node in i2_problem.topology.node_names
+        }
+        solution = solve_with_fixed_rules(i2_problem, fixed)
+        for (i, pair, node), value in solution.d.items():
+            if i != 0:
+                assert value == 0.0
+        assert i2_problem.check_feasible(solution.e, solution.d) == []
+
+    def test_restricted_never_beats_relaxation(self, i2_problem):
+        relaxed = solve_relaxation(i2_problem)
+        fixed = {
+            (i, node): (1 if i < 10 else 0)
+            for i in range(i2_problem.num_rules)
+            for node in i2_problem.topology.node_names
+        }
+        restricted = solve_with_fixed_rules(i2_problem, fixed)
+        assert restricted.objective <= relaxed.objective + 1e-6
+
+    def test_enabled_rules_listing(self, i2_problem):
+        fixed = {
+            (i, node): (1 if i in (2, 5) else 0)
+            for i in range(i2_problem.num_rules)
+            for node in i2_problem.topology.node_names
+        }
+        solution = solve_with_fixed_rules(i2_problem, fixed)
+        node = i2_problem.topology.node_names[0]
+        assert solution.enabled_rules(node) == [2, 5]
+
+
+class TestDegenerateCapacity:
+    def test_empty_placement_returns_zero_deployment(self, i2_problem):
+        """A TCAM budget below one slot enables nothing; the restricted
+        LP degenerates to the zero deployment instead of erroring."""
+        solution = solve_with_fixed_rules(i2_problem, {})
+        assert solution.objective == 0.0
+        assert solution.d == {}
+
+    def test_rounding_survives_sub_slot_budget(self):
+        """The full rounding pipeline on a problem whose TCAM cannot
+        hold even one rule yields the (feasible) zero deployment."""
+        import random
+
+        from repro.core.rounding import RoundingVariant, rounded_deployment
+
+        problem = small_problem(num_rules=3, cam=0.5, num_nodes=4)
+        from repro.core.nips_milp import solve_relaxation as _relax
+
+        relaxed = _relax(problem)
+        result = rounded_deployment(
+            problem, RoundingVariant.GREEDY_LP, random.Random(0), relaxed=relaxed
+        )
+        assert result.solution.objective == 0.0
+        assert problem.check_feasible(result.solution.e, result.solution.d) == []

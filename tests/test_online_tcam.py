@@ -1,0 +1,85 @@
+"""Tests for TCAM-constrained online adaptation (§3.5 future work)."""
+
+import random
+
+import pytest
+
+from repro.core.nips_milp import build_nips_problem
+from repro.core.online import state_vector
+from repro.core.online_tcam import (
+    TCAMFPLConfig,
+    TCAMOnlineAdapter,
+    _rates_from_weights,
+    approximate_oracle,
+    run_tcam_online,
+)
+from repro.nips.adversary import UniformProcess
+from repro.nips.rules import MatchRateMatrix, unit_rules
+from repro.topology import random_pop_topology
+
+
+@pytest.fixture(scope="module")
+def problem():
+    topology = random_pop_topology(5, seed=41).set_uniform_capacities(
+        cpu=300_000.0, mem=60_000.0, cam=2.0
+    )
+    rules = unit_rules(5)
+    pairs = [
+        (a, b) for a in topology.node_names for b in topology.node_names if a != b
+    ]
+    match = MatchRateMatrix.uniform(rules, pairs, random.Random(41))
+    return build_nips_problem(
+        topology, rules, match, total_flows=400_000.0, total_packets=1_800_000.0
+    )
+
+
+class TestRateRecovery:
+    def test_weights_roundtrip_to_rates(self, problem):
+        """state_vector followed by _rates_from_weights recovers M."""
+        rates = {
+            (rule.index, pair): 0.003 + 0.001 * rule.index
+            for rule in problem.rules
+            for pair in problem.pairs
+        }
+        weights = state_vector(problem, rates)
+        recovered = _rates_from_weights(problem, weights)
+        for key, rate in rates.items():
+            assert recovered.rate(*key) == pytest.approx(rate, rel=1e-9)
+
+
+class TestOracle:
+    def test_oracle_respects_tcam(self, problem):
+        rates = {
+            (rule.index, pair): 0.005
+            for rule in problem.rules
+            for pair in problem.pairs
+        }
+        weights = state_vector(problem, rates)
+        solution = approximate_oracle(problem, weights, seed=1)
+        assert problem.check_feasible(solution.e, solution.d) == []
+        for node in problem.topology.node_names:
+            assert len(solution.enabled_rules(node)) <= 2  # cam capacity
+
+
+class TestAdapter:
+    def test_every_epoch_feasible(self, problem):
+        adapter = TCAMOnlineAdapter(problem, TCAMFPLConfig(epochs=3, seed=2))
+        process = UniformProcess(problem, seed=2)
+        for epoch in range(1, 4):
+            decision = adapter.decide()
+            assert problem.check_feasible(decision.e, decision.d) == []
+            adapter.observe(process(epoch, None))
+
+    def test_short_run_regret_bounded(self, problem):
+        """Against i.i.d. rates, the adapter's cumulative value stays
+        within a reasonable factor of the hindsight oracle."""
+        process = UniformProcess(problem, seed=3)
+        result = run_tcam_online(
+            problem, process, TCAMFPLConfig(epochs=8, seed=3)
+        )
+        assert result.per_epoch_feasible
+        assert result.static_total > 0
+        # alpha-regret: allow slack for the approximate oracle and the
+        # cold-start epochs of a very short run.
+        assert result.normalized_regret <= 0.5
+        assert result.fpl_total > 0

@@ -1,0 +1,126 @@
+"""Property-based fuzzing of the optimization pipelines.
+
+Hypothesis drives randomized instances through the full NIDS and NIPS
+pipelines, asserting the invariants DESIGN.md §6 lists.  Example counts
+are modest because each example is an LP solve.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.manifest import generate_manifests, verify_manifests
+from repro.core.nids_lp import solve_nids_lp
+from repro.core.nips_milp import build_nips_problem, solve_relaxation
+from repro.core.rounding import RoundingVariant, rounded_deployment
+from repro.core.units import CoordinationUnit, build_units
+from repro.nids.modules import STANDARD_MODULES
+from repro.nips.rules import MatchRateMatrix, unit_rules
+from repro.topology import PathSet, internet2, random_pop_topology
+from repro.traffic import GeneratorConfig, TrafficGenerator
+
+_FUZZ_SETTINGS = dict(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_nodes=st.integers(min_value=3, max_value=9),
+    num_units=st.integers(min_value=1, max_value=25),
+)
+@settings(**_FUZZ_SETTINGS)
+def test_fuzz_nids_lp_and_manifests(seed, num_nodes, num_units):
+    """Random unit collections: the LP always covers, loads match the
+    objective, and manifests verify."""
+    rng = random.Random(seed)
+    topology = random_pop_topology(num_nodes, seed=seed).set_uniform_capacities(
+        cpu=rng.uniform(0.5, 2.0), mem=rng.uniform(0.5, 2.0)
+    )
+    names = topology.node_names
+    units = []
+    for index in range(num_units):
+        eligible = tuple(
+            rng.sample(names, rng.randint(1, min(4, len(names))))
+        )
+        items = rng.uniform(1, 500)
+        units.append(
+            CoordinationUnit(
+                class_name=f"c{index % 3}",
+                key=(f"u{index}",),
+                eligible=eligible,
+                pkts=rng.uniform(1, 5_000),
+                items=items,
+                cpu_work=rng.uniform(0, 2_000),
+                mem_bytes=items * rng.uniform(10, 500),
+            )
+        )
+    assignment = solve_nids_lp(units, topology)
+    # Coverage invariant.
+    for unit in units:
+        total = sum(
+            assignment.fraction(unit.class_name, unit.key, node)
+            for node in unit.eligible
+        )
+        assert total == pytest.approx(1.0, abs=1e-6)
+    # Objective is the max load.
+    assert assignment.objective == pytest.approx(
+        max(assignment.max_cpu_load, assignment.max_mem_load), rel=1e-5, abs=1e-8
+    )
+    # Manifests verify.
+    manifests = generate_manifests(units, assignment, names)
+    verify_manifests(units, manifests)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_rules=st.integers(min_value=2, max_value=8),
+    cam=st.floats(min_value=1.0, max_value=4.0),
+    variant=st.sampled_from(list(RoundingVariant)),
+)
+@settings(**_FUZZ_SETTINGS)
+def test_fuzz_nips_rounding_always_feasible(seed, num_rules, cam, variant):
+    """Random NIPS instances: every rounding variant yields a feasible
+    deployment bounded by OptLP."""
+    rng = random.Random(seed)
+    topology = random_pop_topology(
+        rng.randint(4, 7), seed=seed
+    ).set_uniform_capacities(
+        cpu=rng.uniform(1e5, 1e6), mem=rng.uniform(2e4, 2e5), cam=cam
+    )
+    rules = unit_rules(num_rules)
+    pairs = [
+        (a, b) for a in topology.node_names for b in topology.node_names if a != b
+    ]
+    match = MatchRateMatrix.uniform(rules, pairs, rng)
+    problem = build_nips_problem(
+        topology, rules, match, total_flows=3e5, total_packets=1.5e6
+    )
+    relaxed = solve_relaxation(problem)
+    result = rounded_deployment(problem, variant, random.Random(seed + 1), relaxed=relaxed)
+    # rounded_deployment raises on infeasibility internally; re-check.
+    assert problem.check_feasible(result.solution.e, result.solution.d) == []
+    assert result.solution.objective <= relaxed.objective + 1e-6
+
+
+@given(seed=st.integers(min_value=0, max_value=1_000))
+@settings(max_examples=8, deadline=None)
+def test_fuzz_unit_building_order_invariant(seed):
+    """Units derived from a shuffled trace equal the originals."""
+    topology = internet2()
+    paths = PathSet(topology)
+    generator = TrafficGenerator(
+        topology, paths, config=GeneratorConfig(seed=seed)
+    )
+    sessions = generator.generate(300)
+    shuffled = list(sessions)
+    random.Random(seed).shuffle(shuffled)
+    original = build_units(STANDARD_MODULES, sessions, paths)
+    reordered = build_units(STANDARD_MODULES, shuffled, paths)
+    assert [(u.ident, u.pkts, u.items) for u in original] == [
+        (u.ident, u.pkts, u.items) for u in reordered
+    ]

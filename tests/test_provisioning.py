@@ -1,0 +1,110 @@
+"""Tests for the what-if provisioning analyses (Section 5)."""
+
+import pytest
+
+from repro.core.provisioning import nips_tcam_sweep, rank_nids_upgrades
+from repro.core.units import build_units
+from repro.nids.modules import STANDARD_MODULES
+from repro.topology import PathSet, internet2
+from repro.traffic import GeneratorConfig, TrafficGenerator
+from tests.test_nips_milp import small_problem
+
+
+@pytest.fixture(scope="module")
+def nids_setup():
+    topo = internet2().set_uniform_capacities(cpu=1.0, mem=1.0)
+    paths = PathSet(topo)
+    generator = TrafficGenerator(topo, paths, config=GeneratorConfig(seed=81))
+    sessions = generator.generate(1500)
+    units = build_units(STANDARD_MODULES, sessions, paths)
+    return topo, units
+
+
+class TestNIDSUpgrades:
+    def test_upgrades_never_hurt(self, nids_setup):
+        topo, units = nids_setup
+        outcomes = rank_nids_upgrades(units, topo, cpu_factor=2.0, mem_factor=2.0)
+        for outcome in outcomes:
+            assert outcome.upgraded_objective <= outcome.baseline_objective + 1e-9
+            assert 0.0 <= outcome.improvement <= 1.0
+
+    def test_ranked_best_first(self, nids_setup):
+        topo, units = nids_setup
+        outcomes = rank_nids_upgrades(units, topo)
+        objectives = [o.upgraded_objective for o in outcomes]
+        assert objectives == sorted(objectives)
+
+    def test_all_nodes_evaluated(self, nids_setup):
+        topo, units = nids_setup
+        outcomes = rank_nids_upgrades(units, topo)
+        assert {o.node for o in outcomes} == set(topo.node_names)
+
+    def test_original_topology_unmodified(self, nids_setup):
+        topo, units = nids_setup
+        rank_nids_upgrades(units, topo)
+        for node in topo.nodes():
+            assert node.cpu_capacity == 1.0
+            assert node.mem_capacity == 1.0
+
+
+class TestTCAMSweep:
+    def test_monotone_nondecreasing(self):
+        problem = small_problem(num_rules=6, cam=1.0, seed=23, num_nodes=5)
+        points = nips_tcam_sweep(problem, cam_capacities=[1.0, 2.0, 4.0, 6.0])
+        objectives = [p.objective for p in points]
+        assert objectives == sorted(objectives)
+
+    def test_capacities_restored(self):
+        problem = small_problem(num_rules=6, cam=1.0, seed=23, num_nodes=5)
+        nips_tcam_sweep(problem, cam_capacities=[2.0, 3.0])
+        for name in problem.topology.node_names:
+            assert problem.topology.node(name).cam_capacity == pytest.approx(1.0)
+
+    def test_diminishing_returns(self):
+        """Once every useful rule fits, more TCAM buys nothing."""
+        problem = small_problem(num_rules=4, cam=1.0, seed=29, num_nodes=5)
+        points = nips_tcam_sweep(problem, cam_capacities=[4.0, 8.0])
+        assert points[1].objective == pytest.approx(points[0].objective, rel=1e-6)
+
+
+class TestBottleneckAnalysis:
+    def test_pressures_sum_to_one(self, nids_setup):
+        """LP duality: total pressure across both dimensions is the
+        objective's own multiplier (1 for min max-load)."""
+        from repro.core.provisioning import bottleneck_analysis
+
+        topo, units = nids_setup
+        report = bottleneck_analysis(units, topo)
+        total = sum(report.cpu_pressure.values()) + sum(
+            report.mem_pressure.values()
+        )
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_binding_nodes_nonempty(self, nids_setup):
+        from repro.core.provisioning import bottleneck_analysis
+
+        topo, units = nids_setup
+        report = bottleneck_analysis(units, topo)
+        assert report.binding_nodes()
+
+    def test_agrees_with_resolve_ranking(self, nids_setup):
+        """The duals' verdict matches the expensive re-solve ranking:
+        the single most effective upgrade is a binding node."""
+        from repro.core.provisioning import bottleneck_analysis
+
+        topo, units = nids_setup
+        report = bottleneck_analysis(units, topo)
+        ranking = rank_nids_upgrades(units, topo)
+        improvers = [o.node for o in ranking if o.improvement > 1e-6]
+        if improvers:
+            assert improvers[0] in report.binding_nodes()
+
+    def test_objective_matches_solve(self, nids_setup):
+        from repro.core.provisioning import bottleneck_analysis
+        from repro.core.nids_lp import solve_nids_lp
+
+        topo, units = nids_setup
+        report = bottleneck_analysis(units, topo)
+        assert report.objective == pytest.approx(
+            solve_nids_lp(units, topo).objective, rel=1e-9
+        )

@@ -1,0 +1,208 @@
+"""Tests for traffic/routing change handling (Section 5)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.nids_deployment import plan_deployment
+from repro.core.nids_lp import solve_nids_lp
+from repro.core.reconfigure import conservative_units, plan_transition
+from repro.core.units import build_units
+from repro.nids.modules import SIGNATURE, STANDARD_MODULES
+from repro.topology import PathSet, internet2
+from repro.traffic import GeneratorConfig, TrafficGenerator
+
+
+@pytest.fixture(scope="module")
+def world():
+    topo = internet2().set_uniform_capacities(cpu=1.0, mem=1.0)
+    paths = PathSet(topo)
+    generator = TrafficGenerator(topo, paths, config=GeneratorConfig(seed=111))
+    old_sessions = generator.generate(2000)
+    # Traffic change: a different seed shifts the mix and volumes.
+    shifted = TrafficGenerator(
+        topo, paths, config=GeneratorConfig(seed=222)
+    ).generate(3000)
+    old = plan_deployment(topo, paths, STANDARD_MODULES, old_sessions)
+    new = plan_deployment(topo, paths, STANDARD_MODULES, shifted)
+    return topo, paths, generator, old_sessions, old, new
+
+
+class TestConservativeUnits:
+    def test_volumes_inflated(self, world):
+        _, paths, _, sessions, _, _ = world
+        units = build_units(STANDARD_MODULES, sessions, paths)
+        inflated = conservative_units(units, headroom=1.5)
+        for base, conservative in zip(units, inflated):
+            assert conservative.pkts == pytest.approx(base.pkts * 1.5)
+            assert conservative.cpu_work == pytest.approx(base.cpu_work * 1.5)
+            assert conservative.eligible == base.eligible
+
+    def test_objective_scales_with_headroom(self, world):
+        topo, paths, _, sessions, _, _ = world
+        units = build_units(STANDARD_MODULES, sessions, paths)
+        base = solve_nids_lp(units, topo).objective
+        padded = solve_nids_lp(conservative_units(units, 1.3), topo).objective
+        assert padded == pytest.approx(base * 1.3, rel=1e-4)
+
+    def test_invalid_headroom(self, world):
+        _, paths, _, sessions, _, _ = world
+        units = build_units(STANDARD_MODULES, sessions, paths)
+        with pytest.raises(ValueError):
+            conservative_units(units, headroom=0.9)
+
+
+class TestTransitionPlan:
+    def test_new_connections_follow_new_manifest(self, world):
+        topo, _, _, _, old, new = world
+        plan = plan_transition(old, new)
+        unit = new.units[0]
+        for probe in (0.1, 0.5, 0.9):
+            holders = [
+                node
+                for node in topo.node_names
+                if plan.responsible_for_new(node, unit.class_name, unit.key, probe)
+            ]
+            expected = [
+                node
+                for node in topo.node_names
+                if new.manifests[node].contains(unit.class_name, unit.key, probe)
+            ]
+            assert holders == expected
+
+    def test_existing_connections_never_dropped(self, world):
+        """Mid-transition, every point of the hash space has at least
+        its old holder still responsible — correctness is preserved."""
+        topo, _, _, _, old, new = world
+        plan = plan_transition(old, new)
+        for unit in old.units[:40]:
+            for probe in (0.05, 0.35, 0.65, 0.95):
+                old_holders = [
+                    node
+                    for node in unit.eligible
+                    if old.manifests[node].contains(unit.class_name, unit.key, probe)
+                ]
+                assert all(
+                    plan.responsible_for_existing(
+                        node, unit.class_name, unit.key, probe
+                    )
+                    for node in old_holders
+                )
+
+    def test_duplication_bounded_by_one(self, world):
+        _, _, _, _, old, new = world
+        plan = plan_transition(old, new)
+        for unit in old.units[:60]:
+            duplicated = plan.duplicated_fraction(unit.class_name, unit.key)
+            assert -1e-9 <= duplicated <= 1.0 + 1e-9
+
+    def test_identical_deployments_no_duplication(self, world):
+        _, _, _, _, old, _ = world
+        plan = plan_transition(old, old)
+        for unit in old.units[:60]:
+            assert plan.duplicated_fraction(unit.class_name, unit.key) == pytest.approx(
+                0.0, abs=1e-9
+            )
+
+    def test_handoffs_mass_conserved(self, world):
+        """For units that exist in both deployments, the per-unit
+        handoff mass equals the duplicated mass: every duplicated point
+        is exactly one donor->receiver transfer.  (Units that vanish
+        with the new traffic mix have no receiver — their old state
+        simply expires.)"""
+        _, _, _, _, old, new = world
+        plan = plan_transition(old, new)
+        transfers = plan.handoffs()
+        per_unit_transfer = {}
+        for class_name, key, _donor, _receiver, mass in transfers:
+            ident = (class_name, key)
+            per_unit_transfer[ident] = per_unit_transfer.get(ident, 0.0) + mass
+        common = {(u.class_name, u.key) for u in old.units} & {
+            (u.class_name, u.key) for u in new.units
+        }
+        assert common
+        for class_name, key in list(common)[:80]:
+            duplicated = plan.duplicated_fraction(class_name, key)
+            assert per_unit_transfer.get((class_name, key), 0.0) == pytest.approx(
+                duplicated, abs=1e-6
+            )
+
+    def test_handoffs_sorted_descending(self, world):
+        _, _, _, _, old, new = world
+        transfers = plan_transition(old, new).handoffs()
+        masses = [mass for *_ignored, mass in transfers]
+        assert masses == sorted(masses, reverse=True)
+
+    def test_node_set_mismatch_rejected(self, world):
+        topo, paths, _, sessions, old, _ = world
+        from repro.topology import geant
+
+        other_topo = geant().set_uniform_capacities(cpu=1.0, mem=1.0)
+        other_paths = PathSet(other_topo)
+        other_generator = TrafficGenerator(
+            other_topo, other_paths, config=GeneratorConfig(seed=5)
+        )
+        other = plan_deployment(
+            other_topo, other_paths, STANDARD_MODULES, other_generator.generate(500)
+        )
+        with pytest.raises(ValueError):
+            plan_transition(old, other)
+
+    def test_orphaned_fraction_zero_on_stable_routing(self, world):
+        """Without a routing change, old holders remain on the paths,
+        so no state transfer is forced by unreachability."""
+        _, _, _, _, old, new = world
+        plan = plan_transition(old, new)
+        for unit in new.units[:40]:
+            assert plan.orphaned_fraction(
+                unit.class_name, unit.key
+            ) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestRoutingChange:
+    def test_orphaned_mass_detected_after_reroute(self):
+        """An actual routing change: removing a link reroutes paths, so
+        an old holder can drop off a unit's new eligible set — the plan
+        must surface that mass as needing a state transfer (§5)."""
+        from repro.topology import LinkSpec, NodeSpec, Topology
+
+        def build(drop_link):
+            nodes = [NodeSpec(n, population=1.0 + i) for i, n in
+                     enumerate(["a", "b", "c", "d"])]
+            links = [
+                LinkSpec("a", "b", 1.0),
+                LinkSpec("b", "c", 1.0),
+                LinkSpec("c", "d", 1.0),
+                LinkSpec("a", "d", 5.0),  # backup path
+            ]
+            if drop_link:
+                links = [l for l in links if {l.a, l.b} != {"b", "c"}]
+            return Topology("square", nodes, links)
+
+        before = build(drop_link=False).set_uniform_capacities(cpu=1.0, mem=1.0)
+        after = build(drop_link=True).set_uniform_capacities(cpu=1.0, mem=1.0)
+        # Make b the preferred analyzer so the old plan stores state
+        # there; the reroute then strands that state.
+        before.scale_capacity("b", cpu_factor=20.0, mem_factor=20.0)
+        paths_before = PathSet(before)
+        paths_after = PathSet(after)
+        # a->c goes a,b,c before; after losing b-c it reroutes a,d,c.
+        assert paths_before.path("a", "c").nodes == ("a", "b", "c")
+        assert "b" not in paths_after.path("a", "c").nodes
+
+        generator = TrafficGenerator(
+            before, paths_before, config=GeneratorConfig(seed=7)
+        )
+        sessions = generator.generate(800)
+        old = plan_deployment(before, paths_before, STANDARD_MODULES, sessions)
+        new = plan_deployment(after, paths_after, STANDARD_MODULES, sessions)
+        plan = plan_transition(old, new)
+
+        orphaned = [
+            (unit.ident, plan.orphaned_fraction(unit.class_name, unit.key))
+            for unit in new.units
+        ]
+        total_orphaned = sum(mass for _, mass in orphaned)
+        # Node b held path-scoped ranges for a<->c traffic before the
+        # reroute; that mass is now unreachable at b.
+        assert total_orphaned > 0

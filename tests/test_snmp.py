@@ -1,0 +1,90 @@
+"""Tests for the SNMP link-load substrate and TM estimation."""
+
+import pytest
+
+from repro.measurement.snmp import (
+    LinkLoadCollector,
+    estimate_traffic_matrix,
+    matrix_error,
+)
+from repro.topology import PathSet, internet2
+from repro.traffic import GeneratorConfig, TrafficGenerator
+
+
+@pytest.fixture(scope="module")
+def world():
+    topo = internet2()
+    paths = PathSet(topo)
+    generator = TrafficGenerator(topo, paths, config=GeneratorConfig(seed=161))
+    sessions = generator.generate(6000)
+    return topo, paths, generator, sessions
+
+
+@pytest.fixture(scope="module")
+def loads(world):
+    _, paths, _, sessions = world
+    return LinkLoadCollector(paths).collect(sessions)
+
+
+class TestLinkLoadCollector:
+    def test_only_real_links_counted(self, world, loads):
+        topo, _, _, _ = world
+        real_links = {
+            tuple(sorted((l.a, l.b))) for l in topo.links
+        }
+        assert set(loads.link_bytes) <= real_links
+
+    def test_ingress_totals_match_truth(self, world, loads):
+        _, _, _, sessions = world
+        expected = {}
+        for s in sessions:
+            expected[s.ingress] = expected.get(s.ingress, 0) + s.num_bytes
+        assert loads.ingress_bytes == expected
+
+    def test_multi_hop_sessions_count_on_every_link(self, world, loads):
+        """Total link bytes equal the sum of bytes x path-link-count."""
+        _, paths, _, sessions = world
+        expected = sum(
+            s.num_bytes * (len(paths.path(s.ingress, s.egress)) - 1)
+            for s in sessions
+        )
+        assert sum(loads.link_bytes.values()) == pytest.approx(expected)
+
+    def test_utilization(self, loads):
+        capacities = {link: 1e9 for link in loads.link_bytes}
+        utilization = loads.utilization(capacities)
+        assert all(0.0 <= u for u in utilization.values())
+        assert set(utilization) == set(loads.link_bytes)
+
+
+class TestTMEstimation:
+    def test_estimate_preserves_total(self, world, loads):
+        topo, _, _, _ = world
+        estimate = estimate_traffic_matrix(topo, loads)
+        assert sum(estimate.values()) == pytest.approx(loads.total_ingress_bytes)
+
+    def test_rows_match_ingress_counters(self, world, loads):
+        topo, _, _, _ = world
+        estimate = estimate_traffic_matrix(topo, loads)
+        rows = {}
+        for (src, _), volume in estimate.items():
+            rows[src] = rows.get(src, 0.0) + volume
+        for node, observed in loads.ingress_bytes.items():
+            assert rows[node] == pytest.approx(observed)
+
+    def test_estimate_close_to_gravity_truth(self, world, loads):
+        """The generator's TM *is* gravity, so the tomogravity-style
+        estimate must land close to the true per-pair volumes."""
+        topo, _, _, sessions = world
+        truth = {}
+        for s in sessions:
+            truth[(s.ingress, s.egress)] = (
+                truth.get((s.ingress, s.egress), 0.0) + s.num_bytes
+            )
+        estimate = estimate_traffic_matrix(topo, loads)
+        assert matrix_error(estimate, truth) < 0.20
+
+    def test_matrix_error_metric(self):
+        assert matrix_error({("a", "b"): 1.0}, {("a", "b"): 1.0}) == 0.0
+        assert matrix_error({("a", "b"): 0.0}, {("a", "b"): 1.0}) == pytest.approx(1.0)
+        assert matrix_error({}, {}) == 0.0
