@@ -10,6 +10,8 @@ Gives operators the paper's workflow without writing Python:
   pipeline;
 * ``microbench`` — the Fig. 5 coordination-overhead table;
 * ``online`` — FPL adaptation regret over time;
+* ``control run`` — run the controller–agent coordination plane
+  through a scripted traffic-shift / failure / recovery scenario;
 * ``figures`` — write per-figure CSV artifacts.
 
 Run ``python -m repro.cli <command> --help`` for per-command options.
@@ -187,6 +189,89 @@ def cmd_online(args) -> int:
     return 0
 
 
+def cmd_control_run(args) -> int:
+    """Handle ``control run``: scripted coordination-plane scenario."""
+    from .control import ScenarioConfig, run_scenario, standard_scenario
+
+    common = dict(
+        topology=args.topology,
+        epochs=args.epochs,
+        base_sessions=args.sessions,
+        profile=args.profile.replace("-", "_"),
+        seed=args.seed,
+        latency=args.latency,
+        jitter=args.jitter,
+        loss_rate=args.loss_rate,
+        resolve_every=args.resolve_every,
+        heartbeat_timeout=args.heartbeat_timeout,
+    )
+    if args.no_events:
+        config = ScenarioConfig(**common)
+    else:
+        config = standard_scenario(
+            shift_epoch=args.shift_epoch,
+            fail_epoch=args.fail_epoch,
+            recover_epoch=args.recover_epoch,
+            fail_node=args.fail_node,
+            **common,
+        )
+    try:
+        result = run_scenario(config)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"coordination plane on {args.topology}: {config.epochs} epochs,"
+        f" ~{config.base_sessions} sessions/epoch,"
+        f" bus latency={config.latency:g}s loss={config.loss_rate:g}"
+    )
+    print(
+        f"{'epoch':>5} {'resolved':<10} {'push B':>8} {'full-eq B':>9}"
+        f" {'coverage':>8} {'lag':>6}  flags"
+    )
+    for r in result.records:
+        flags = []
+        if r.failed_nodes:
+            flags.append("failed=" + ",".join(r.failed_nodes))
+        if r.in_transition:
+            flags.append("transition")
+        print(
+            f"{r.epoch:>5} {r.resolved or '-':<10} {r.push_bytes:>8}"
+            f" {r.full_equivalent_bytes:>9} {r.coverage:>8.4f}"
+            f" {r.reconfig_lag:>6.2f}  {' '.join(flags)}"
+        )
+    for node, detected in sorted(result.detection_epoch.items()):
+        redistributed = result.redistribution_epoch.get(node)
+        reintegrated = result.reintegration_epoch.get(node)
+        print(
+            f"{node}: failure detected at epoch {detected},"
+            f" ranges redistributed at epoch {redistributed},"
+            f" reintegrated at epoch {reintegrated}"
+        )
+    stats = result.controller_stats
+    print(
+        f"controller: {stats.resolves} re-solves, {stats.repairs} repairs,"
+        f" {stats.pushes_delta} delta + {stats.pushes_full} full pushes,"
+        f" {stats.retries} retries;"
+        f" {stats.push_bytes:,} B pushed vs {stats.full_equivalent_bytes:,} B"
+        f" full-equivalent"
+    )
+    if args.output:
+        from . import reporting
+
+        with open(args.output, "w", newline="") as stream:
+            reporting.control_epochs_csv(result.records, stream)
+        print(f"wrote per-epoch records to {args.output}")
+    violations = result.check_acceptance()
+    if violations:
+        print("ACCEPTANCE VIOLATIONS:")
+        for violation in violations:
+            print(f"  - {violation}")
+        return 1
+    print("acceptance criteria: all satisfied")
+    return 0
+
+
 def cmd_figures(args) -> int:
     """Regenerate figure data as CSV artifacts."""
     import os
@@ -281,6 +366,37 @@ def build_parser() -> argparse.ArgumentParser:
     online.add_argument("--rules", type=int, default=6)
     online.add_argument("--seed", type=int, default=1)
     online.set_defaults(func=cmd_online)
+
+    control = sub.add_parser(
+        "control", help="coordination-plane (controller-agent) runtime"
+    )
+    control_sub = control.add_subparsers(dest="control_command", required=True)
+    run = control_sub.add_parser(
+        "run", help="run a scripted scenario through the coordination plane"
+    )
+    run.add_argument("--topology", default="internet2", help="topology label")
+    run.add_argument("--epochs", type=int, default=16)
+    run.add_argument(
+        "--sessions", type=int, default=900, help="base sessions per epoch"
+    )
+    run.add_argument("--profile", choices=sorted(_PROFILES), default="mixed")
+    run.add_argument("--seed", type=int, default=7)
+    run.add_argument("--latency", type=float, default=0.05)
+    run.add_argument("--jitter", type=float, default=0.02)
+    run.add_argument("--loss-rate", type=float, default=0.0)
+    run.add_argument("--resolve-every", type=int, default=4)
+    run.add_argument("--heartbeat-timeout", type=float, default=2.2)
+    run.add_argument("--shift-epoch", type=int, default=5)
+    run.add_argument("--fail-epoch", type=int, default=8)
+    run.add_argument("--recover-epoch", type=int, default=12)
+    run.add_argument("--fail-node", default="NYCM")
+    run.add_argument(
+        "--no-events",
+        action="store_true",
+        help="steady-state run without scripted shift/failure/recovery",
+    )
+    run.add_argument("--output", help="write per-epoch records CSV here")
+    run.set_defaults(func=cmd_control_run)
 
     figures = sub.add_parser("figures", help="write figure data as CSV artifacts")
     figures.add_argument("--output-dir", default="figures")

@@ -1,0 +1,68 @@
+"""Coordination plane: controller–agent runtime (paper §2.2, §5).
+
+The offline pipeline (measure → estimate → LP → manifests) answers
+*what* each node should sample; this package makes that loop run
+continuously: an operations-center :class:`Controller` on an epoch
+clock, per-node :class:`Agent` endpoints, a lossy simulated
+:class:`Bus` between them, epoch-versioned delta distribution,
+heartbeat-driven failure detection with targeted redistribution, and
+scripted end-to-end scenarios.
+"""
+
+from .agent import Agent, AgentConfig, AgentStats
+from .bus import Bus, BusConfig, BusStats, Message
+from .controller import Controller, ControllerConfig, ControllerStats, PushState
+from .epochs import (
+    CoverageSummary,
+    EpochRecord,
+    coverage_metrics,
+    merge_reports,
+    stabilize_manifests,
+    union_length,
+)
+from .failure import (
+    HeartbeatMonitor,
+    RepairResult,
+    repair_manifests,
+)
+from .scenarios import (
+    COVERAGE_FLOOR,
+    PROFILES,
+    REDISTRIBUTION_DEADLINE_EPOCHS,
+    ScenarioConfig,
+    ScenarioEvent,
+    ScenarioResult,
+    run_scenario,
+    standard_scenario,
+)
+
+__all__ = [
+    "Agent",
+    "AgentConfig",
+    "AgentStats",
+    "Bus",
+    "BusConfig",
+    "BusStats",
+    "COVERAGE_FLOOR",
+    "Controller",
+    "ControllerConfig",
+    "ControllerStats",
+    "CoverageSummary",
+    "EpochRecord",
+    "HeartbeatMonitor",
+    "Message",
+    "PROFILES",
+    "PushState",
+    "REDISTRIBUTION_DEADLINE_EPOCHS",
+    "RepairResult",
+    "ScenarioConfig",
+    "ScenarioEvent",
+    "ScenarioResult",
+    "coverage_metrics",
+    "merge_reports",
+    "repair_manifests",
+    "run_scenario",
+    "stabilize_manifests",
+    "standard_scenario",
+    "union_length",
+]

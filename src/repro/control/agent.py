@@ -1,0 +1,217 @@
+"""Per-node NIDS agent: the node-side half of the coordination plane.
+
+Each network node runs an agent that (paper §2.3, §5):
+
+* measures the traffic it ingresses and exports NetFlow-style reports
+  to the operations center;
+* receives epoch-versioned sampling-manifest updates — full manifests
+  or :func:`~repro.core.manifest_io.manifest_diff` deltas — applies
+  them, and acknowledges the applied version;
+* applies every update through the §5 dual-manifest window
+  (:class:`~repro.core.reconfigure.TransitionPlan` semantics): new
+  connections follow the new manifest immediately, while the retiring
+  manifest keeps answering for pre-existing connections until the
+  window expires, so no connection loses its analyzer mid-switch;
+* heartbeats, so the controller can detect the NIDS process dying
+  (the router keeps forwarding — only the analysis capacity is lost).
+
+Crash/recover model a NIDS software failure: a crashed agent drops all
+incoming messages and sends nothing; on recovery it restarts cold
+(empty manifest, version −1) and waits for the controller to push a
+full manifest.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..core.manifest import NodeManifest
+from ..core.manifest_io import apply_manifest_delta, manifest_from_dict
+from ..core.units import UnitKey
+from ..measurement.flows import FlowExporter
+from ..traffic.session import Session
+from .bus import Bus, Message
+
+#: Nominal wire sizes for the small fixed-format control messages.
+HEARTBEAT_BYTES = 64
+ACK_BYTES = 96
+
+
+def report_bytes(report) -> int:
+    """Approximate NetFlow report size (per-pair and per-port rows)."""
+    return 64 + 24 * (len(report.pair_flows) + len(report.pair_port_flows))
+
+
+@dataclass
+class AgentConfig:
+    """Agent-side tunables (times in seconds)."""
+
+    heartbeat_interval: float = 1.0
+    #: How long the retiring manifest keeps serving existing
+    #: connections after an update is applied (§5's "until existing
+    #: connections ... expire").
+    transition_window: float = 2.0
+    controller: str = "controller"
+
+
+@dataclass
+class AgentStats:
+    """Cumulative agent-side counters."""
+
+    updates_applied: int = 0
+    duplicates_ignored: int = 0
+    resyncs_requested: int = 0
+    heartbeats_sent: int = 0
+    reports_sent: int = 0
+
+
+class Agent:
+    """One node's coordination-plane endpoint."""
+
+    def __init__(
+        self,
+        node: str,
+        bus: Bus,
+        exporter: Optional[FlowExporter] = None,
+        config: Optional[AgentConfig] = None,
+    ):
+        self.node = node
+        self.bus = bus
+        self.exporter = exporter or FlowExporter()
+        self.config = config or AgentConfig()
+        self.alive = True
+        self.applied_version = -1
+        self.manifest = NodeManifest(node=node)
+        #: (retiring manifest, window expiry time) during a transition.
+        self.retiring: Optional[Tuple[NodeManifest, float]] = None
+        self.stats = AgentStats()
+        self._last_heartbeat = float("-inf")
+
+    # -- failure model ----------------------------------------------------
+    def crash(self) -> None:
+        """NIDS process dies: stop analyzing, reporting, heartbeating."""
+        self.alive = False
+
+    def recover(self) -> None:
+        """Process restarts cold: all configuration state is lost."""
+        self.alive = True
+        self.applied_version = -1
+        self.manifest = NodeManifest(node=self.node)
+        self.retiring = None
+        self._last_heartbeat = float("-inf")
+
+    # -- epoch step -------------------------------------------------------
+    def step(self, now: float, sessions: Optional[Sequence[Session]] = None) -> None:
+        """Process inbox, optionally measure+report, heartbeat, expire.
+
+        Called (at least) twice per epoch by the runtime: once at epoch
+        start with the node's ingress *sessions*, and once mid-epoch to
+        pick up the controller's pushes.  A crashed agent drains and
+        discards its inbox — messages addressed to a dead process are
+        simply lost.
+        """
+        inbox = self.bus.deliver(self.node, now)
+        if not self.alive:
+            return
+        for message in inbox:
+            if message.kind == "manifest-update":
+                self._handle_update(message, now)
+        if sessions is not None:
+            report = self.exporter.measure(
+                sessions, interval_seconds=self.config.heartbeat_interval
+            )
+            self.bus.send(
+                self.node,
+                self.config.controller,
+                "report",
+                report,
+                report_bytes(report),
+                now,
+            )
+            self.stats.reports_sent += 1
+        if now - self._last_heartbeat >= self.config.heartbeat_interval - 1e-9:
+            self.bus.send(
+                self.node,
+                self.config.controller,
+                "heartbeat",
+                {"node": self.node},
+                HEARTBEAT_BYTES,
+                now,
+            )
+            self.stats.heartbeats_sent += 1
+            self._last_heartbeat = now
+        if self.retiring is not None and now >= self.retiring[1]:
+            self.retiring = None
+
+    def _ack(self, version: int, status: str, now: float) -> None:
+        self.bus.send(
+            self.node,
+            self.config.controller,
+            "ack",
+            {
+                "node": self.node,
+                "version": version,
+                "applied": self.applied_version,
+                "status": status,
+            },
+            ACK_BYTES,
+            now,
+        )
+
+    def _handle_update(self, message: Message, now: float) -> None:
+        payload: Dict = message.payload  # type: ignore[assignment]
+        version = payload["version"]
+        if version <= self.applied_version:
+            # Reordered or retransmitted push we already hold; re-ack so
+            # the controller stops retrying.
+            self.stats.duplicates_ignored += 1
+            self._ack(version, "duplicate", now)
+            return
+        if payload["mode"] == "delta":
+            if payload.get("base") != self.applied_version:
+                # Delta against a base we never applied (lost push or
+                # cold restart): ask for a full manifest instead.
+                self.stats.resyncs_requested += 1
+                self._ack(version, "resync", now)
+                return
+            new_manifest = apply_manifest_delta(self.manifest, payload["data"])
+        else:
+            new_manifest = manifest_from_dict(payload["data"])
+        if self.applied_version >= 0:
+            # §5 dual-manifest window: retain the old responsibilities
+            # for existing connections until they expire.
+            self.retiring = (self.manifest, now + self.config.transition_window)
+        self.manifest = new_manifest
+        self.applied_version = version
+        self.stats.updates_applied += 1
+        self._ack(version, "applied", now)
+
+    # -- dispatch-facing queries (TransitionPlan semantics, per node) ----
+    @property
+    def in_transition(self) -> bool:
+        """Whether a dual-manifest window is currently open."""
+        return self.retiring is not None
+
+    def responsible_for_new(
+        self, class_name: str, key: UnitKey, hash_value: float
+    ) -> bool:
+        """Should this node take on a NEW connection? (new manifest)"""
+        return self.alive and self.manifest.contains(class_name, key, hash_value)
+
+    def responsible_for_existing(
+        self, class_name: str, key: UnitKey, hash_value: float
+    ) -> bool:
+        """Should this node keep analyzing an EXISTING connection?
+
+        Union of the current and retiring manifests, exactly like
+        :meth:`repro.core.reconfigure.TransitionPlan.responsible_for_existing`.
+        """
+        if not self.alive:
+            return False
+        if self.manifest.contains(class_name, key, hash_value):
+            return True
+        return self.retiring is not None and self.retiring[0].contains(
+            class_name, key, hash_value
+        )

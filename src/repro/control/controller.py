@@ -1,0 +1,530 @@
+"""The operations-center controller (paper §2.2 "operations center",
+§5 dynamics).
+
+"A centralized operations center periodically configures the NIDS
+responsibilities of the different nodes."  The :class:`Controller`
+closes that loop at runtime:
+
+1. **Ingest** — per-agent NetFlow reports and heartbeats arrive over
+   the (lossy) management bus; the latest report per ingress is cached
+   so a silent node's traffic is still planned from its last word.
+2. **Decide** — each epoch the controller re-plans when (a) it has
+   never planned ("bootstrap"), (b) a failed node recovered
+   ("recovery": full LP re-solve reintegrating it), (c) heartbeats
+   timed out ("failure": *targeted* redistribution of just the dead
+   node's hash ranges — see :mod:`repro.control.failure`), (d) the
+   measured traffic drifted materially ("drift"), or (e) a periodic
+   refresh is due ("periodic").
+3. **Distribute** — new manifests are stabilized against the previous
+   epoch (sub-tolerance churn suppressed per unit), then pushed to
+   each agent as an epoch-versioned **delta** against the manifest
+   that agent last acknowledged — falling back to a full manifest when
+   the delta would be larger, when the agent requests a resync, or on
+   cold start.  Unacknowledged pushes are retried; per-agent
+   acknowledged state makes every push idempotent.
+
+Re-solving uses the same LP as offline planning; a custom ``solve_fn``
+(e.g. an FPL-style adapter from :mod:`repro.core.online` for
+adversarially shifting inputs) can be plugged in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from ..core.dispatch import UnitResolver
+from ..core.manifest import generate_manifests, verify_manifests, NodeManifest
+from ..core.manifest_io import delta_is_empty, manifest_diff, manifest_to_dict
+from ..core.nids_deployment import NIDSDeployment
+from ..core.nids_lp import NIDSAssignment, solve_nids_lp
+from ..core.reconfigure import conservative_units, plan_transition
+from ..core.units import CoordinationUnit
+from ..measurement.estimation import EstimationModel, estimate_units
+from ..measurement.flows import TrafficReport
+from ..nids.modules.base import ModuleSpec
+from ..topology.graph import Topology
+from ..topology.routing import PathSet
+from .bus import Bus
+from .epochs import (
+    EpochRecord,
+    Ident,
+    merge_reports,
+    stabilize_manifests,
+)
+from .failure import HeartbeatMonitor, RepairResult, repair_manifests
+
+SolveFn = Callable[[Sequence[CoordinationUnit], Topology, float], NIDSAssignment]
+
+
+@dataclass
+class ControllerConfig:
+    """Operations-center tunables (times in seconds)."""
+
+    name: str = "controller"
+    epoch_duration: float = 1.0
+    #: Silence after which a node is declared failed (> 2 heartbeat
+    #: intervals so a single lost heartbeat is not a false positive).
+    heartbeat_timeout: float = 2.2
+    #: Resend an unacknowledged push after this long.  Below half an
+    #: epoch so both controller beats (decision at ``t+0.25``, ack
+    #: collection at ``t+0.75``) can retry a lost push.
+    retry_after: float = 0.45
+    #: Relative L1 drift of per-class volumes that triggers a re-solve.
+    drift_threshold: float = 0.2
+    #: Re-solve at least every this many epochs regardless of drift
+    #: (the paper's periodic reconfiguration); 0 disables.
+    resolve_every: int = 4
+    #: Per-unit churn suppression tolerance (hash-range endpoints).
+    stabilize_tolerance: float = 0.02
+    #: Headroom factor for conservative planning (§5; 1.0 = plan on
+    #: the measured volumes directly).
+    headroom: float = 1.0
+    #: Redundancy level r passed to the LP.
+    coverage: float = 1.0
+    #: Prefer deltas over full pushes when strictly smaller.
+    use_delta: bool = True
+    estimation: EstimationModel = field(default_factory=EstimationModel)
+
+
+@dataclass
+class PushState:
+    """One outstanding (or acknowledged) manifest push to one agent."""
+
+    version: int
+    mode: str  # "full" | "delta"
+    payload: dict
+    size_bytes: int
+    full_bytes: int
+    #: The manifest the agent holds after applying this push.
+    manifest: NodeManifest
+    first_sent: float
+    last_sent: float
+    acked_at: Optional[float] = None
+
+
+@dataclass
+class ControllerStats:
+    """Cumulative controller counters."""
+
+    resolves: int = 0
+    repairs: int = 0
+    pushes_full: int = 0
+    pushes_delta: int = 0
+    retries: int = 0
+    push_bytes: int = 0
+    full_equivalent_bytes: int = 0
+
+
+def _json_size(payload: dict) -> int:
+    return len(json.dumps(payload, sort_keys=True))
+
+
+class Controller:
+    """Epoch-clocked operations center over a simulated bus."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        paths: PathSet,
+        modules: Sequence[ModuleSpec],
+        bus: Bus,
+        config: Optional[ControllerConfig] = None,
+        solve_fn: Optional[SolveFn] = None,
+    ):
+        self.topology = topology
+        self.paths = paths
+        self.modules = list(modules)
+        self.bus = bus
+        self.config = config or ControllerConfig()
+        self.solve_fn = solve_fn or (
+            lambda units, topo, coverage: solve_nids_lp(units, topo, coverage)
+        )
+        self.monitor = HeartbeatMonitor(
+            topology.node_names, self.config.heartbeat_timeout
+        )
+        self.stats = ControllerStats()
+
+        #: Latest NetFlow report per reporting node (stale entries are
+        #: deliberately kept: a dead NIDS does not stop the traffic).
+        self.reports: Dict[str, TrafficReport] = {}
+        self.version = -1
+        self.deployment: Optional[NIDSDeployment] = None
+        self.manifests: Dict[str, NodeManifest] = {}
+        self.planned_units: List[CoordinationUnit] = []
+        self.last_repair: Optional[RepairResult] = None
+        #: Manifest content each agent last acknowledged applying.
+        self.acked_manifests: Dict[str, NodeManifest] = {}
+        self.acked_version: Dict[str, int] = {
+            name: -1 for name in topology.node_names
+        }
+        self.outstanding: Dict[str, PushState] = {}
+        self.needs_full: Set[str] = set()
+        self._recovered: Set[str] = set()
+        self._reference_class_cpu: Dict[str, float] = {}
+        self._last_resolve_epoch: Optional[int] = None
+        # Per-epoch scratch, reset by step().
+        self._epoch = EpochRecord(epoch=-1, time=0.0)
+        self._epoch_lags: List[float] = []
+
+    # -- inbox ------------------------------------------------------------
+    def _drain(self, now: float) -> None:
+        for message in self.bus.deliver(self.config.name, now):
+            if message.kind == "heartbeat":
+                node = message.payload["node"]
+                if self.monitor.beat(node, now):
+                    self._recovered.add(node)
+                    self.needs_full.add(node)
+                    self.acked_manifests.pop(node, None)
+                    self.acked_version[node] = -1
+                    self.outstanding.pop(node, None)
+            elif message.kind == "report":
+                self.reports[message.src] = message.payload
+            elif message.kind == "ack":
+                self._handle_ack(message.payload, now)
+
+    def _handle_ack(self, payload: dict, now: float) -> None:
+        node = payload["node"]
+        state = self.outstanding.get(node)
+        if state is None or payload["version"] != state.version:
+            return  # stale ack for a superseded push
+        if payload["status"] == "resync":
+            # The agent cannot apply our delta (lost base); switch this
+            # node to full pushes and resend immediately-ish.
+            self.needs_full.add(node)
+            self.acked_manifests.pop(node, None)
+            self.outstanding.pop(node, None)
+            return
+        if state.acked_at is None:
+            state.acked_at = now
+            self._epoch_lags.append(now - state.first_sent)
+        self.acked_version[node] = state.version
+        self.acked_manifests[node] = state.manifest
+        self.needs_full.discard(node)
+
+    # -- planning ---------------------------------------------------------
+    def _estimated_units(self) -> List[CoordinationUnit]:
+        merged = merge_reports(self.reports.values())
+        units = estimate_units(
+            self.modules, merged, self.paths, self.config.estimation
+        )
+        return conservative_units(units, self.config.headroom)
+
+    @staticmethod
+    def _class_cpu(units: Sequence[CoordinationUnit]) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for unit in units:
+            totals[unit.class_name] = totals.get(unit.class_name, 0.0) + unit.cpu_work
+        return totals
+
+    def _drift(self, units: Sequence[CoordinationUnit]) -> float:
+        """Relative L1 distance of per-class CPU volumes vs. the last
+        re-solve's inputs (class-level, so per-unit sampling noise does
+        not masquerade as a traffic change)."""
+        reference = self._reference_class_cpu
+        if not reference:
+            return float("inf")
+        current = self._class_cpu(units)
+        baseline = sum(reference.values())
+        if baseline <= 0:
+            return float("inf")
+        classes = set(reference) | set(current)
+        l1 = sum(
+            abs(current.get(c, 0.0) - reference.get(c, 0.0)) for c in classes
+        )
+        return l1 / baseline
+
+    def _exclude_failed(
+        self, units: Sequence[CoordinationUnit]
+    ) -> List[CoordinationUnit]:
+        if not self.monitor.failed:
+            return list(units)
+        surviving = []
+        for unit in units:
+            eligible = tuple(
+                n for n in unit.eligible if n not in self.monitor.failed
+            )
+            if not eligible:
+                continue  # unobservable while its only nodes are down
+            if eligible != unit.eligible:
+                unit = dataclasses.replace(unit, eligible=eligible)
+            surviving.append(unit)
+        return surviving
+
+    def _resolve(self, now: float, reason: str) -> None:
+        """Full re-plan: estimate → LP → manifests → stabilize."""
+        estimated = self._estimated_units()
+        self._reference_class_cpu = self._class_cpu(estimated)
+        units = self._exclude_failed(estimated)
+        assignment = self.solve_fn(units, self.topology, self.config.coverage)
+        proposed = generate_manifests(units, assignment, self.topology.node_names)
+        allowed: Dict[Ident, Set[str]] = {
+            unit.ident: set(unit.eligible) for unit in units
+        }
+        if self.manifests:
+            stabilized, _changed = stabilize_manifests(
+                self.manifests,
+                proposed,
+                self.config.stabilize_tolerance,
+                allowed=allowed,
+            )
+        else:
+            stabilized = proposed
+        verify_manifests(units, stabilized)
+        self._adopt(stabilized, units, assignment, now, reason)
+        self.stats.resolves += 1
+        self._last_resolve_epoch = self._epoch.epoch
+
+    def _repair(self, now: float) -> None:
+        """Targeted redistribution of the failed nodes' hash ranges."""
+        result = repair_manifests(
+            self.manifests, self.planned_units, self.topology, self.monitor.failed
+        )
+        self.last_repair = result
+        assignment = (
+            self.deployment.assignment if self.deployment is not None else None
+        )
+        self._adopt(result.manifests, self.planned_units, assignment, now, "failure")
+        self.stats.repairs += 1
+
+    def _adopt(
+        self,
+        manifests: Dict[str, NodeManifest],
+        units: Sequence[CoordinationUnit],
+        assignment: Optional[NIDSAssignment],
+        now: float,
+        reason: str,
+    ) -> None:
+        """Install a new configuration version and compute transition
+        metrics against the outgoing one."""
+        self.version += 1
+        previous = self.deployment
+        if assignment is not None:
+            self.deployment = NIDSDeployment(
+                topology=self.topology,
+                paths=self.paths,
+                modules=self.modules,
+                units=list(units),
+                assignment=assignment,
+                manifests=manifests,
+                resolver=UnitResolver(self.topology.node_names),
+            )
+        old_manifests = self.manifests
+        self.manifests = manifests
+        self.planned_units = list(units)
+        self._epoch.resolved = reason
+        self._epoch.config_version = self.version
+        if previous is not None and self.deployment is not None:
+            plan = plan_transition(previous, self.deployment)
+            total = sum(u.pkts for u in self.deployment.units)
+            if total > 0:
+                duplicated = sum(
+                    u.pkts * plan.duplicated_fraction(u.class_name, u.key)
+                    for u in self.deployment.units
+                )
+                self._epoch.duplicated_fraction = duplicated / total
+        self._epoch.unchanged_entry_fraction = self._unchanged_fraction(
+            old_manifests, manifests
+        )
+
+    @staticmethod
+    def _unchanged_fraction(
+        old: Dict[str, NodeManifest], new: Dict[str, NodeManifest]
+    ) -> float:
+        """Fraction of (node, unit) entries identical across versions."""
+        keys = {
+            (node, ident)
+            for node, manifest in old.items()
+            for ident in manifest.entries
+        } | {
+            (node, ident)
+            for node, manifest in new.items()
+            for ident in manifest.entries
+        }
+        if not keys:
+            return 1.0
+        unchanged = sum(
+            1
+            for node, ident in keys
+            if node in old
+            and node in new
+            and old[node].entries.get(ident) == new[node].entries.get(ident)
+        )
+        return unchanged / len(keys)
+
+    # -- distribution -----------------------------------------------------
+    def _sync_pushes(self, now: float) -> None:
+        """(Re)send manifests to every live agent not yet holding the
+        current configuration.  Pushes are idempotent and versioned, so
+        resending after loss is always safe."""
+        if self.version < 0:
+            return
+        for node in self.topology.node_names:
+            if not self.monitor.alive(node):
+                continue
+            target = self.manifests[node]
+            acked = self.acked_manifests.get(node)
+            if acked is not None and acked.entries == target.entries and (
+                acked.full == target.full
+            ):
+                continue  # agent already holds equivalent content
+            state = self.outstanding.get(node)
+            if state is not None and state.acked_at is None:
+                if state.manifest is self.manifests[node] or (
+                    state.version == self.version
+                    and state.manifest.entries == target.entries
+                ):
+                    # Current push still in flight; retry if it has
+                    # gone unacknowledged for too long.
+                    if now - state.last_sent >= self.config.retry_after:
+                        self._transmit(node, state, now, retry=True)
+                    continue
+            self._push(node, target, now)
+
+    def _push(self, node: str, target: NodeManifest, now: float) -> None:
+        full_payload_data = manifest_to_dict(target)
+        full_bytes = _json_size(full_payload_data)
+        base = self.acked_manifests.get(node)
+        mode = "full"
+        data = full_payload_data
+        size = full_bytes
+        base_version: Optional[int] = None
+        if (
+            self.config.use_delta
+            and base is not None
+            and node not in self.needs_full
+        ):
+            delta = manifest_diff(base, target)
+            delta_bytes = _json_size(delta)
+            if not delta_is_empty(delta) and delta_bytes < full_bytes:
+                mode = "delta"
+                data = delta
+                size = delta_bytes
+                base_version = self.acked_version[node]
+        payload = {
+            "version": self.version,
+            "mode": mode,
+            "base": base_version,
+            "data": data,
+        }
+        state = PushState(
+            version=self.version,
+            mode=mode,
+            payload=payload,
+            size_bytes=size,
+            full_bytes=full_bytes,
+            manifest=target,
+            first_sent=now,
+            last_sent=now,
+        )
+        self.outstanding[node] = state
+        self._transmit(node, state, now, retry=False)
+        if mode == "full":
+            self.stats.pushes_full += 1
+            self._epoch.pushes_full += 1
+        else:
+            self.stats.pushes_delta += 1
+            self._epoch.pushes_delta += 1
+        self._epoch.push_bytes += size
+        self._epoch.full_equivalent_bytes += full_bytes
+        self.stats.push_bytes += size
+        self.stats.full_equivalent_bytes += full_bytes
+
+    def _transmit(
+        self, node: str, state: PushState, now: float, retry: bool
+    ) -> None:
+        if retry:
+            self.stats.retries += 1
+            self._epoch.push_bytes += state.size_bytes
+            self._epoch.full_equivalent_bytes += state.full_bytes
+            self.stats.push_bytes += state.size_bytes
+            self.stats.full_equivalent_bytes += state.full_bytes
+        state.last_sent = now
+        self.bus.send(
+            self.config.name,
+            node,
+            "manifest-update",
+            state.payload,
+            state.size_bytes,
+            now,
+        )
+
+    # -- epoch driver -----------------------------------------------------
+    def step(self, now: float) -> None:
+        """Main per-epoch decision point: ingest, detect, re-plan, push."""
+        epoch = int(now / self.config.epoch_duration)
+        self._epoch = EpochRecord(epoch=epoch, time=now)
+        self._epoch_lags = []
+        self._recovered = set()
+
+        self._drain(now)
+        newly_failed = self.monitor.sweep(now)
+
+        reason = ""
+        if self.deployment is None:
+            if self.reports:
+                reason = "bootstrap"
+        elif self._recovered:
+            reason = "recovery"
+        elif newly_failed:
+            reason = "failure"
+        elif self.reports:
+            drift = self._drift(self._estimated_units())
+            if drift > self.config.drift_threshold:
+                reason = "drift"
+            elif (
+                self.config.resolve_every > 0
+                and self._last_resolve_epoch is not None
+                and epoch - self._last_resolve_epoch >= self.config.resolve_every
+            ):
+                reason = "periodic"
+
+        if reason == "failure":
+            self._repair(now)
+        elif reason:
+            self._resolve(now, reason)
+
+        self._sync_pushes(now)
+
+    def finish_epoch(self, now: float) -> EpochRecord:
+        """Drain late acks, retry stragglers, finalize the record."""
+        self._drain(now)
+        # Second retry beat: anything still unacknowledged (push or ack
+        # lost in either direction) goes out again before the epoch
+        # closes, roughly doubling per-epoch convergence odds on a
+        # lossy bus.
+        self._sync_pushes(now)
+        record = self._epoch
+        record.failed_nodes = tuple(sorted(self.monitor.failed))
+        record.reconfig_lag = max(self._epoch_lags, default=0.0)
+        record.converged = not self.unsynced_live_nodes()
+        return record
+
+    # -- introspection ----------------------------------------------------
+    def unsynced_live_nodes(self) -> List[str]:
+        """Live nodes whose applied manifest differs from the current
+        configuration (push lost, pending, or not yet sent)."""
+        if self.version < 0:
+            return [n for n in self.topology.node_names if self.monitor.alive(n)]
+        lagging = []
+        for node in self.topology.node_names:
+            if not self.monitor.alive(node):
+                continue
+            acked = self.acked_manifests.get(node)
+            target = self.manifests[node]
+            if acked is None or acked.entries != target.entries or (
+                acked.full != target.full
+            ):
+                lagging.append(node)
+        return lagging
+
+    def failure_pending(self) -> bool:
+        """Whether some crashed node's ranges are still in the active
+        configuration (crash undetected or repair not yet computed)."""
+        return any(
+            self.manifests.get(node) is not None
+            and self.manifests[node].entries
+            for node in self.monitor.failed
+        )

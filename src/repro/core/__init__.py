@@ -17,10 +17,13 @@ from .manifest import (
     verify_manifests,
 )
 from .manifest_io import (
+    apply_manifest_delta,
+    delta_is_empty,
     dump_assignment,
     dump_manifests,
     load_assignment,
     load_manifests,
+    manifest_diff,
 )
 from .nids_deployment import NIDSDeployment, plan_deployment
 from .nips_manifest import (
@@ -117,6 +120,7 @@ __all__ = [
     "TransitionPlan",
     "UnitResolver",
     "UpgradeOutcome",
+    "apply_manifest_delta",
     "best_of_roundings",
     "bottleneck_analysis",
     "build_nids_lp",
@@ -125,6 +129,7 @@ __all__ = [
     "build_units",
     "conservative_units",
     "decision_value",
+    "delta_is_empty",
     "dump_assignment",
     "dump_manifests",
     "eligible_nodes",
@@ -136,6 +141,7 @@ __all__ = [
     "integral_assignment",
     "load_assignment",
     "load_manifests",
+    "manifest_diff",
     "nips_tcam_sweep",
     "plan_transition",
     "plan_deployment",

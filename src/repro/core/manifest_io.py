@@ -65,6 +65,94 @@ def manifest_from_dict(data: Mapping) -> NodeManifest:
     return manifest
 
 
+def manifest_diff(old: NodeManifest, new: NodeManifest) -> dict:
+    """Delta that transforms *old* into *new* (same node).
+
+    The delta is itself a schema-version-1 JSON-compatible dict:
+
+    ```json
+    {
+      "version": 1,
+      "kind": "delta",
+      "node": "KSCY",
+      "full": false,
+      "changed": [{"class": ..., "unit": [...], "ranges": [[lo, hi], ...]}],
+      "removed": [{"class": ..., "unit": [...]}]
+    }
+    ```
+
+    ``changed`` carries every entry that is new or whose ranges differ
+    (exact comparison — callers wanting churn suppression should
+    stabilize the manifests *before* diffing, so all nodes of a unit
+    stay mutually consistent); ``removed`` lists entry keys present in
+    *old* but absent from *new*.  The controller pushes these deltas to
+    agents on epochs where most of the manifest is unchanged, which is
+    strictly cheaper on the wire than re-sending the full manifest.
+    """
+    if old.node != new.node:
+        raise ValueError(
+            f"cannot diff manifests of different nodes {old.node!r} vs {new.node!r}"
+        )
+    changed = []
+    for (class_name, key), ranges in sorted(new.entries.items()):
+        if old.entries.get((class_name, key)) == ranges:
+            continue
+        changed.append(
+            {
+                "class": class_name,
+                "unit": list(key),
+                "ranges": [[r.lo, r.hi] for r in ranges],
+            }
+        )
+    removed = [
+        {"class": class_name, "unit": list(key)}
+        for (class_name, key) in sorted(old.entries)
+        if (class_name, key) not in new.entries
+    ]
+    return {
+        "version": SCHEMA_VERSION,
+        "kind": "delta",
+        "node": new.node,
+        "full": new.full,
+        "changed": changed,
+        "removed": removed,
+    }
+
+
+def delta_is_empty(delta: Mapping) -> bool:
+    """Whether a delta produced by :func:`manifest_diff` changes nothing."""
+    return not delta.get("changed") and not delta.get("removed")
+
+
+def apply_manifest_delta(base: NodeManifest, delta: Mapping) -> NodeManifest:
+    """Apply a :func:`manifest_diff` delta to *base*, returning the result.
+
+    Validates the schema version, kind, and node; *base* is left
+    untouched.  ``apply_manifest_delta(old, manifest_diff(old, new))``
+    reproduces *new* exactly.
+    """
+    if delta.get("version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported manifest schema version {delta.get('version')!r}"
+        )
+    if delta.get("kind") != "delta":
+        raise ValueError(f"not a manifest delta: kind={delta.get('kind')!r}")
+    if delta.get("node") != base.node:
+        raise ValueError(
+            f"delta for node {delta.get('node')!r} applied to {base.node!r}"
+        )
+    entries = dict(base.entries)
+    for removal in delta.get("removed", []):
+        entries.pop((removal["class"], tuple(removal["unit"])), None)
+    for entry in delta.get("changed", []):
+        entries[(entry["class"], tuple(entry["unit"]))] = tuple(
+            HashRange(lo, hi) for lo, hi in entry["ranges"]
+        )
+    return NodeManifest(
+        node=base.node, entries=entries, full=bool(delta.get("full", False))
+    )
+
+
 def dump_manifests(manifests: Mapping[str, NodeManifest]) -> str:
     """Serialize a full set of per-node manifests to JSON text."""
     return json.dumps(

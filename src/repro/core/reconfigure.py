@@ -23,6 +23,7 @@ traffic reports arrive.  Two concerns arise:
 from __future__ import annotations
 
 import dataclasses
+import math
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
@@ -32,6 +33,12 @@ from .nids_deployment import NIDSDeployment
 from .units import CoordinationUnit, UnitKey
 
 
+#: Every measured resource field of a :class:`CoordinationUnit` that a
+#: headroom factor must scale.  Kept in one place so a new resource
+#: dimension cannot be silently missed by :func:`conservative_units`.
+RESOURCE_FIELDS = ("pkts", "items", "cpu_work", "mem_bytes")
+
+
 def conservative_units(
     units: Sequence[CoordinationUnit], headroom: float = 1.3
 ) -> List[CoordinationUnit]:
@@ -39,17 +46,22 @@ def conservative_units(
     the mean for bursty traffic) before solving the LP.
 
     The resulting assignment is feasible for bursts up to the headroom
-    at the cost of a proportionally higher planned max load.
+    at the cost of a proportionally higher planned max load.  All
+    resource fields (``pkts``, ``items``, ``cpu_work``, ``mem_bytes``)
+    scale together; identity fields (class, key, eligible set) are
+    preserved.  ``headroom == 1.0`` is a no-op fast path returning the
+    units unscaled (the controller's default per-epoch path).
     """
+    if not math.isfinite(headroom):
+        raise ValueError(f"headroom must be finite, got {headroom!r}")
     if headroom < 1.0:
         raise ValueError("headroom must be >= 1")
+    if headroom == 1.0:
+        return list(units)
     return [
         dataclasses.replace(
             unit,
-            pkts=unit.pkts * headroom,
-            items=unit.items * headroom,
-            cpu_work=unit.cpu_work * headroom,
-            mem_bytes=unit.mem_bytes * headroom,
+            **{name: getattr(unit, name) * headroom for name in RESOURCE_FIELDS},
         )
         for unit in units
     ]

@@ -13,6 +13,7 @@ import csv
 import io
 from typing import Iterable, List, Sequence, TextIO
 
+from .control.epochs import EpochRecord
 from .experiments.nids_network_wide import PerNodeProfile
 from .experiments.nips_rounding import RoundingStats
 from .experiments.online_adaptation import OnlineEvaluation
@@ -127,6 +128,58 @@ def regret_csv(evaluation: OnlineEvaluation, stream: TextIO) -> None:
         for point in run.points:
             rows.append((run_index, point.epoch, point.normalized_regret))
     _write(rows, ("run", "epoch", "normalized_regret"), stream)
+
+
+def control_epochs_csv(records: Sequence[EpochRecord], stream: TextIO) -> None:
+    """Coordination-plane run: one row per epoch (``repro control run``)."""
+    _write(
+        (
+            (
+                r.epoch,
+                r.sessions,
+                ";".join(r.failed_nodes),
+                r.resolved,
+                r.config_version,
+                r.pushes_full,
+                r.pushes_delta,
+                r.push_bytes,
+                r.full_equivalent_bytes,
+                f"{r.unchanged_entry_fraction:.4f}",
+                r.messages_sent,
+                r.bytes_sent,
+                f"{r.coverage:.6f}",
+                f"{r.min_unit_coverage:.6f}",
+                f"{r.orphaned_fraction:.6f}",
+                f"{r.duplicated_fraction:.6f}",
+                f"{r.reconfig_lag:.4f}",
+                int(r.converged),
+                int(r.in_transition),
+            )
+            for r in records
+        ),
+        (
+            "epoch",
+            "sessions",
+            "failed_nodes",
+            "resolved",
+            "config_version",
+            "pushes_full",
+            "pushes_delta",
+            "push_bytes",
+            "full_equivalent_bytes",
+            "unchanged_entry_fraction",
+            "messages_sent",
+            "bytes_sent",
+            "coverage",
+            "min_unit_coverage",
+            "orphaned_fraction",
+            "duplicated_fraction",
+            "reconfig_lag",
+            "converged",
+            "in_transition",
+        ),
+        stream,
+    )
 
 
 def to_string(writer, *args) -> str:

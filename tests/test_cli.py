@@ -125,3 +125,50 @@ class TestPlanFromNetflow:
         out = capsys.readouterr().out
         assert "planning from NetFlow" in out
         assert "objective=" in out
+
+
+class TestControlRun:
+    def test_parser_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["control"])
+
+    def test_parses_with_defaults(self):
+        args = build_parser().parse_args(["control", "run"])
+        assert callable(args.func)
+        assert args.epochs == 16
+
+    def test_scenario_runs_and_writes_csv(self, tmp_path, capsys):
+        output = tmp_path / "epochs.csv"
+        code = main(
+            [
+                "control",
+                "run",
+                "--epochs",
+                "12",
+                "--sessions",
+                "400",
+                "--shift-epoch",
+                "3",
+                "--fail-epoch",
+                "5",
+                "--recover-epoch",
+                "9",
+                "--output",
+                str(output),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "acceptance criteria: all satisfied" in out
+        assert "failure detected at epoch" in out
+        lines = output.read_text().strip().splitlines()
+        assert lines[0].startswith("epoch,sessions,failed_nodes")
+        assert len(lines) == 13  # header + one row per epoch
+
+    def test_steady_state_run(self, capsys):
+        code = main(
+            ["control", "run", "--no-events", "--epochs", "6", "--sessions", "300"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "bootstrap" in out

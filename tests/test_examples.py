@@ -76,3 +76,10 @@ def test_nips_deployment(capsys):
     )
     assert "OptLP" in out
     assert "enforcement simulation" in out
+
+
+def test_control_plane(capsys):
+    out = _run_example("examples.control_plane", ["control_plane.py", "14"], capsys)
+    assert "coordination plane" in out
+    assert "crash detected at epoch" in out
+    assert "acceptance" in out

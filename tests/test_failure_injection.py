@@ -79,3 +79,92 @@ class TestSingleNodeFailure:
         assert singles  # scan/synflood units are singletons
         for unit in singles:
             assert r2.assignment.coverage[unit.ident] == pytest.approx(1.0)
+
+
+class TestTargetedRepair:
+    """Reactive repair: the coordination plane's failure-driven
+    redistribution must hand a dead node's ranges to live eligible
+    nodes without touching the survivors' existing assignments."""
+
+    def _repair(self, deployments, failed="NYCM"):
+        from repro.control.failure import repair_manifests
+
+        topo, r1, _ = deployments
+        return topo, r1, repair_manifests(
+            r1.manifests, r1.units, topo, {failed}
+        )
+
+    def test_failed_node_fully_cleared(self, deployments):
+        _, _, result = self._repair(deployments)
+        assert result.manifests["NYCM"].entries == {}
+
+    def test_survivor_ranges_untouched(self, deployments):
+        """Survivors only ever *gain* ranges; their previous holdings
+        stay bit-identical (the property that keeps repairs delta-sized)."""
+        _, r1, result = self._repair(deployments)
+        for node, manifest in r1.manifests.items():
+            if node == "NYCM":
+                continue
+            for ident, ranges in manifest.entries.items():
+                repaired = result.manifests[node].entries[ident]
+                assert repaired[: len(ranges)] == ranges
+
+    def test_replicable_units_stay_fully_covered(self, deployments):
+        """Every unit with a live eligible node keeps exact coverage
+        after the repair."""
+        from repro.control.epochs import union_length
+
+        _, r1, result = self._repair(deployments)
+        orphaned_idents = {ident for ident, _ in result.orphaned}
+        for unit in r1.units:
+            survivors = [n for n in unit.eligible if n != "NYCM"]
+            if not survivors or unit.ident in orphaned_idents:
+                continue
+            held = []
+            for node in survivors:
+                held.extend(
+                    result.manifests[node].ranges(unit.class_name, unit.key)
+                )
+            assert union_length(held) == pytest.approx(1.0, abs=1e-9)
+
+    def test_moves_only_from_failed_node(self, deployments):
+        _, _, result = self._repair(deployments)
+        assert result.moves  # NYCM is busy; something must move
+        for _cls, _key, donor, receiver, _piece in result.moves:
+            assert donor == "NYCM"
+            assert receiver != "NYCM"
+
+    def test_moved_mass_matches_failed_holdings(self, deployments):
+        _, r1, result = self._repair(deployments)
+        orphaned_mass = sum(mass for _, mass in result.orphaned)
+        held = sum(
+            r.length
+            for ranges in r1.manifests["NYCM"].entries.values()
+            for r in ranges
+        )
+        assert result.moved_mass + orphaned_mass == pytest.approx(held)
+
+    def test_singleton_units_reported_orphaned(self, deployments):
+        """Units whose only eligible node died cannot be repaired; they
+        must be surfaced, not silently dropped."""
+        _, r1, result = self._repair(deployments)
+        expected = {
+            unit.ident
+            for unit in r1.units
+            if unit.eligible == ("NYCM",)
+            and r1.manifests["NYCM"].entries.get(unit.ident)
+        }
+        assert {ident for ident, _ in result.orphaned} >= expected
+
+    def test_redundant_deployment_repairs_without_overlap(self, deployments):
+        """Under r=2 a receiver must never end up holding the same
+        point twice for one unit (distinct-holders invariant)."""
+        from repro.control.failure import repair_manifests
+
+        topo, _, r2 = deployments
+        result = repair_manifests(r2.manifests, r2.units, topo, {"NYCM"})
+        for node, manifest in result.manifests.items():
+            for ident, ranges in manifest.entries.items():
+                ordered = sorted(ranges, key=lambda r: r.lo)
+                for first, second in zip(ordered, ordered[1:]):
+                    assert not first.overlaps(second)

@@ -157,3 +157,99 @@ def test_property_manifest_roundtrip(fractions, node_count):
             assert [(r.lo, r.hi) for r in restored_ranges] == [
                 (r.lo, r.hi) for r in ranges
             ]
+
+
+class TestManifestDelta:
+    """Delta encoding used by the coordination plane's config pushes."""
+
+    def _manifests(self):
+        from repro.core.manifest import NodeManifest
+        from repro.hashing.ranges import HashRange
+
+        old = NodeManifest(
+            node="n1",
+            entries={
+                ("http", ("a", "b")): (HashRange(0.0, 0.5),),
+                ("scan", ("a",)): (HashRange(0.2, 0.4), HashRange(0.6, 0.7)),
+                ("irc", ("b",)): (HashRange(0.0, 1.0),),
+            },
+        )
+        new = NodeManifest(
+            node="n1",
+            entries={
+                ("http", ("a", "b")): (HashRange(0.0, 0.5),),  # unchanged
+                ("scan", ("a",)): (HashRange(0.1, 0.4),),  # changed
+                ("sig", ("c", "d")): (HashRange(0.9, 1.0),),  # added
+                # irc removed
+            },
+        )
+        return old, new
+
+    def test_roundtrip_reproduces_new_exactly(self):
+        from repro.core.manifest_io import apply_manifest_delta, manifest_diff
+
+        old, new = self._manifests()
+        delta = manifest_diff(old, new)
+        restored = apply_manifest_delta(old, delta)
+        assert restored.node == new.node
+        assert restored.entries == new.entries
+        assert restored.full == new.full
+
+    def test_delta_carries_only_differences(self):
+        from repro.core.manifest_io import manifest_diff
+
+        old, new = self._manifests()
+        delta = manifest_diff(old, new)
+        changed = {(e["class"], tuple(e["unit"])) for e in delta["changed"]}
+        removed = {(e["class"], tuple(e["unit"])) for e in delta["removed"]}
+        assert changed == {("scan", ("a",)), ("sig", ("c", "d"))}
+        assert removed == {("irc", ("b",))}
+
+    def test_delta_is_json_schema_v1(self):
+        from repro.core.manifest_io import manifest_diff
+
+        old, new = self._manifests()
+        delta = manifest_diff(old, new)
+        assert delta["version"] == SCHEMA_VERSION
+        assert delta["kind"] == "delta"
+        # Must survive the JSON wire (floats round-trip exactly).
+        assert json.loads(json.dumps(delta)) == delta
+
+    def test_empty_delta_detected(self):
+        from repro.core.manifest_io import delta_is_empty, manifest_diff
+
+        old, _ = self._manifests()
+        delta = manifest_diff(old, old)
+        assert delta_is_empty(delta)
+        assert delta["changed"] == [] and delta["removed"] == []
+
+    def test_node_mismatch_rejected(self):
+        from repro.core.manifest import NodeManifest
+        from repro.core.manifest_io import apply_manifest_delta, manifest_diff
+
+        old, new = self._manifests()
+        with pytest.raises(ValueError):
+            manifest_diff(old, NodeManifest(node="n2"))
+        delta = manifest_diff(old, new)
+        with pytest.raises(ValueError):
+            apply_manifest_delta(NodeManifest(node="n2"), delta)
+
+    def test_bad_version_and_kind_rejected(self):
+        from repro.core.manifest_io import apply_manifest_delta, manifest_diff
+
+        old, new = self._manifests()
+        delta = manifest_diff(old, new)
+        with pytest.raises(ValueError):
+            apply_manifest_delta(old, {**delta, "version": 99})
+        with pytest.raises(ValueError):
+            apply_manifest_delta(old, {**delta, "kind": "manifest"})
+
+    def test_deployment_manifest_roundtrip(self, deployment):
+        """Real LP-produced manifests delta-roundtrip node by node."""
+        from repro.core.manifest import NodeManifest
+        from repro.core.manifest_io import apply_manifest_delta, manifest_diff
+
+        for node, manifest in deployment.manifests.items():
+            empty = NodeManifest(node=node)
+            delta = manifest_diff(empty, manifest)
+            assert apply_manifest_delta(empty, delta).entries == manifest.entries

@@ -51,6 +51,34 @@ class TestConservativeUnits:
         with pytest.raises(ValueError):
             conservative_units(units, headroom=0.9)
 
+    def test_nonfinite_headroom_rejected(self, world):
+        _, paths, _, sessions, _, _ = world
+        units = build_units(STANDARD_MODULES, sessions, paths)
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError):
+                conservative_units(units, headroom=bad)
+
+    def test_unit_headroom_is_identity_fast_path(self, world):
+        """headroom == 1.0 must be a no-op that reuses the unit objects
+        (no rebuild churn on the common planning path)."""
+        _, paths, _, sessions, _, _ = world
+        units = build_units(STANDARD_MODULES, sessions, paths)
+        result = conservative_units(units, headroom=1.0)
+        assert result == list(units)
+        assert all(a is b for a, b in zip(result, units))
+
+    def test_all_resource_fields_scaled(self, world):
+        """Every resource field — pkts, items, cpu_work, mem_bytes —
+        must scale consistently, not just the CPU pair."""
+        _, paths, _, sessions, _, _ = world
+        units = build_units(STANDARD_MODULES, sessions, paths)
+        inflated = conservative_units(units, headroom=2.0)
+        for base, conservative in zip(units, inflated):
+            assert conservative.items == pytest.approx(base.items * 2.0)
+            assert conservative.mem_bytes == pytest.approx(base.mem_bytes * 2.0)
+            assert conservative.class_name == base.class_name
+            assert conservative.key == base.key
+
 
 class TestTransitionPlan:
     def test_new_connections_follow_new_manifest(self, world):
