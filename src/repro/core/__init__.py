@@ -9,6 +9,7 @@
 """
 
 from .dispatch import CoordinatedDispatcher, DispatchDecision, UnitResolver
+from .manifest_index import ManifestIndex, compile_ranges, index_manifests
 from .manifest import (
     NodeManifest,
     full_manifest,
@@ -98,6 +99,9 @@ __all__ = [
     "BuiltNIDSLP",
     "BuiltNIPSLP",
     "CoordinatedDispatcher",
+    "ManifestIndex",
+    "compile_ranges",
+    "index_manifests",
     "CoordinationUnit",
     "DispatchDecision",
     "FPLAdapter",

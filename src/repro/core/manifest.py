@@ -16,7 +16,7 @@ used by the test suite and as an operational safety net.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..hashing.ranges import (
     EPSILON,
@@ -98,21 +98,65 @@ def generate_manifests(
     }
     for unit in units:
         position = 0.0
+        # Track the wrapped layout position incrementally instead of
+        # recomputing ``position % 1.0``: ``(lo % 1) + f`` and
+        # ``(lo + f) % 1`` can differ by an ulp, and a boundary float
+        # mismatch between consecutive ranges would open an
+        # ulp-wide sliver that no node's half-open range contains.
+        # Chaining the cursor makes each range's lo bit-identical to
+        # its predecessor's hi.
+        cursor = 0.0
+        last_entry: Optional[Tuple[str, EntryKey]] = None
         for node in unit.eligible:
             fraction = assignment.fraction(unit.class_name, unit.key, node)
             if fraction <= EPSILON:
                 continue
-            arc = WrappedRange(start=position % 1.0, length=min(1.0, fraction))
-            pieces = tuple(arc.pieces())
+            arc = WrappedRange(start=cursor, length=min(1.0, fraction))
+            pieces = tuple(_snap_top(piece) for piece in arc.pieces())
             if pieces:
                 manifests[node].entries[(unit.class_name, unit.key)] = pieces
+                last_entry = (node, (unit.class_name, unit.key))
             position += fraction
+            cursor += fraction
+            if cursor >= 1.0:
+                cursor -= 1.0
+            elif cursor >= 1.0 - EPSILON:
+                # The lap boundary landed within EPSILON of the top, so
+                # the piece just laid was snapped to end at exactly 1.0
+                # (closed top).  The next range must start at the
+                # bottom, or it would lay a sliver under the snapped
+                # band and cover it fold+1 times.
+                cursor = 0.0
         expected = assignment.coverage.get(unit.ident, 1.0)
         if abs(position - expected) > 1e-6:
             raise ValueError(
                 f"unit {unit.ident} fractions sum to {position}, expected {expected}"
             )
+        # The layout must end exactly at the top of the hash space.
+        # Accumulated float error (up to the solver tolerance checked
+        # above) can leave the final piece short of 1.0, which would
+        # otherwise leak an uncovered sliver into dispatch; snap it.
+        if last_entry is not None:
+            node, key = last_entry
+            entry = manifests[node].entries[key]
+            tail = entry[-1]
+            if 1.0 - 1e-6 < tail.hi < 1.0:
+                manifests[node].entries[key] = entry[:-1] + (
+                    HashRange(tail.lo, 1.0),
+                )
     return manifests
+
+
+def _snap_top(piece: HashRange) -> HashRange:
+    """Snap a laid range ending within ``EPSILON`` of 1.0 to exactly 1.0.
+
+    Wrapped arcs split at the top of the hash space; float error in the
+    split position must not leave a piece at ``1.0 - epsilon`` where the
+    generator intended exactly 1.0.
+    """
+    if 1.0 - EPSILON <= piece.hi < 1.0:
+        return HashRange(piece.lo, 1.0)
+    return piece
 
 
 def verify_manifests(
@@ -144,6 +188,14 @@ def verify_manifests(
             )
         if not covers_unit_interval(all_pieces, fold=fold):
             raise ValueError(f"unit {unit.ident} does not cover [0,1] {fold}-fold")
+        # The coverage sweep tolerates an EPSILON shortfall at the top;
+        # generated manifests must reach 1.0 *exactly* (generate
+        # snaps), so solver-epsilon gaps can never reach dispatch.
+        top = max(p.hi for p in all_pieces if not p.empty)
+        if top != 1.0:
+            raise ValueError(
+                f"unit {unit.ident} union tops out at {top!r}, not exactly 1.0"
+            )
 
 
 def sampled_node(

@@ -1,0 +1,108 @@
+"""Precompiled sampling-manifest index for batch dispatch.
+
+``NodeManifest.contains`` answers the Fig. 3 range check with a linear
+``any(r.contains(value))`` scan — fine for one packet, ruinous when the
+network-wide emulation asks it 100k times per node.  A
+:class:`ManifestIndex` flattens each (class, unit) entry's ranges into a
+sorted boundary array once, after which membership is a single
+``searchsorted`` (binary search) per probe — and, crucially, one
+*vectorized* ``searchsorted`` per batch of probes.
+
+The compilation is exact with respect to the scalar semantics of
+:meth:`repro.hashing.ranges.HashRange.contains`:
+
+* each range contributes the half-open interval ``[lo, hi)``;
+* a range whose ``hi`` is within ``EPSILON`` of 1.0 is closed at the
+  top — it contributes ``[lo, nextafter(1.0))`` so every float up to
+  and including 1.0 tests inside;
+* overlapping or touching intervals are merged (union membership is
+  preserved exactly — merging only compares endpoints, no arithmetic).
+
+A probe is inside the union iff ``searchsorted(boundaries, probe,
+side="right")`` is odd.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from ..hashing.ranges import EPSILON, HashRange
+from .manifest import EntryKey, NodeManifest
+from .units import UnitKey
+
+#: Exclusive upper bound that admits every float <= 1.0 — the half-open
+#: encoding of a range closed at the top of the hash space.
+_TOP = np.nextafter(1.0, 2.0)
+
+_EMPTY = np.empty(0, dtype=np.float64)
+
+
+def compile_ranges(ranges: Iterable[HashRange]) -> np.ndarray:
+    """Flatten *ranges* into a sorted boundary array for searchsorted.
+
+    Returns ``[lo1, hi1, lo2, hi2, ...]`` of the merged union; a value
+    ``v`` is contained iff its right-insertion point is odd.  Exactly
+    equivalent to ``any(r.contains(v) for r in ranges)``.
+    """
+    intervals = []
+    for r in ranges:
+        hi = _TOP if r.hi >= 1.0 - EPSILON else r.hi
+        if hi > r.lo:
+            intervals.append((r.lo, hi))
+    intervals.sort()
+    merged: List[List[float]] = []
+    for lo, hi in intervals:
+        if merged and lo <= merged[-1][1]:
+            if hi > merged[-1][1]:
+                merged[-1][1] = hi
+        else:
+            merged.append([lo, hi])
+    return np.array([edge for pair in merged for edge in pair], dtype=np.float64)
+
+
+class ManifestIndex:
+    """Searchsorted-ready compilation of one node's sampling manifest."""
+
+    __slots__ = ("node", "full", "_boundaries")
+
+    def __init__(self, manifest: NodeManifest):
+        self.node = manifest.node
+        self.full = manifest.full
+        self._boundaries: Dict[EntryKey, np.ndarray] = {
+            entry: compile_ranges(ranges)
+            for entry, ranges in manifest.entries.items()
+        }
+
+    def boundaries(self, class_name: str, key: UnitKey) -> np.ndarray:
+        """The entry's flat boundary array (empty when not responsible)."""
+        return self._boundaries.get((class_name, key), _EMPTY)
+
+    def contains(self, class_name: str, key: UnitKey, hash_value: float) -> bool:
+        """Scalar Fig. 3 check — agrees with ``NodeManifest.contains``."""
+        if self.full:
+            return True
+        bounds = self._boundaries.get((class_name, key))
+        if bounds is None or not len(bounds):
+            return False
+        return bool(np.searchsorted(bounds, hash_value, side="right") & 1)
+
+    def contains_batch(
+        self, class_name: str, key: UnitKey, hash_values: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized Fig. 3 check over an array of hash values."""
+        hash_values = np.asarray(hash_values, dtype=np.float64)
+        if self.full:
+            return np.ones(len(hash_values), dtype=bool)
+        bounds = self._boundaries.get((class_name, key))
+        if bounds is None or not len(bounds):
+            return np.zeros(len(hash_values), dtype=bool)
+        return (np.searchsorted(bounds, hash_values, side="right") & 1).astype(bool)
+
+
+def index_manifests(
+    manifests: Dict[str, NodeManifest]
+) -> Dict[str, ManifestIndex]:
+    """Compile an index for every node manifest."""
+    return {node: ManifestIndex(manifest) for node, manifest in manifests.items()}

@@ -17,6 +17,12 @@ from .keys import (
     session_key,
     source_key,
 )
+from .vectorized import (
+    bob_hash_batch,
+    hash_unit_batch,
+    key_hash_unit_batch,
+    pack_key_batch,
+)
 from .ranges import (
     EPSILON,
     HashRange,
@@ -35,7 +41,11 @@ __all__ = [
     "WrappedRange",
     "are_disjoint",
     "bob_hash",
+    "bob_hash_batch",
     "bob_hash_pair",
+    "hash_unit_batch",
+    "key_hash_unit_batch",
+    "pack_key_batch",
     "coverage_depth",
     "covers_unit_interval",
     "destination_key",

@@ -56,11 +56,16 @@ class HashRange:
     def contains(self, value: float) -> bool:
         """Whether *value* falls inside ``[lo, hi)``.
 
-        The top of the hash space is closed at exactly 1.0 when
-        ``hi == 1.0`` so a hash value of 1.0 (impossible for the 32-bit
-        Bob hash, but permitted by the float interface) is not dropped.
+        A range that tops out within ``EPSILON`` of 1.0 is treated as
+        closed at exactly 1.0.  This covers two cases: a hash value of
+        1.0 itself (impossible for the 32-bit Bob hash, but permitted by
+        the float interface), and — critically — values in ``(hi, 1.0)``
+        when a solver-epsilon shortfall left ``hi`` just below 1.0.
+        Without the closed top, such values would be analyzed by *no*
+        node even though :func:`covers_unit_interval` accepts the
+        manifest (the shortfall is within its tolerance).
         """
-        if self.hi >= 1.0 - EPSILON and value >= 1.0:
+        if self.hi >= 1.0 - EPSILON:
             return self.lo <= value <= 1.0
         return self.lo <= value < self.hi
 

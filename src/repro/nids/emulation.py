@@ -110,12 +110,18 @@ def emulate_coordinated(
     run_detectors: bool = False,
     mode: BroMode = BroMode.COORD_EVENT,
     fine_grained: bool = False,
+    batch_dispatch: bool = True,
 ) -> DeploymentUsage:
     """Coordinated deployment: every node runs a coordination-enabled
     instance over its full trace including transit traffic, sampling
     per its manifest.  The default mode is approach 2 (checks as early
     as possible) — the configuration the paper selects; ``mode`` may be
-    set to ``COORD_POLICY`` for the approach-1 ablation."""
+    set to ``COORD_POLICY`` for the approach-1 ablation.
+
+    ``batch_dispatch`` selects the vectorized Fig. 3 fast path (the
+    default; decisions are bit-identical to the scalar path) —
+    ``False`` forces per-session scalar dispatch, kept for equivalence
+    tests and benchmarking."""
     if mode is BroMode.UNMODIFIED:
         raise ValueError("coordinated emulation requires a coordinated mode")
     traces = generator.split_by_node(list(sessions), transit=True)
@@ -129,6 +135,7 @@ def emulate_coordinated(
             cost_model=cost_model,
             run_detectors=run_detectors,
             fine_grained=fine_grained,
+            batch_dispatch=batch_dispatch,
         )
         reports[node] = instance.process_sessions(trace)
     return DeploymentUsage(label="coordinated", reports=reports)

@@ -94,6 +94,7 @@ class BroInstance:
         cost_model: CostModel = DEFAULT_COST_MODEL,
         run_detectors: bool = False,
         fine_grained: bool = False,
+        batch_dispatch: bool = True,
     ):
         if mode is not BroMode.UNMODIFIED and dispatcher is None:
             raise ValueError("coordinated modes require a dispatcher")
@@ -102,6 +103,10 @@ class BroInstance:
         self.mode = mode
         self.dispatcher = dispatcher
         self.cost = cost_model
+        #: Vectorized Fig. 3 fast path: precompute the whole trace's
+        #: sampling decisions with CoordinatedDispatcher.sampled_modules_batch
+        #: (bit-identical to the scalar per-session checks).
+        self.batch_dispatch = batch_dispatch
         #: §2.5 extension: honour FIRST_PACKET subscriptions with
         #: lightweight records instead of full connection tracking.
         self.fine_grained = fine_grained
@@ -182,11 +187,18 @@ class BroInstance:
         tracked_connections = 0
         light_connections = 0
 
-        for session in sessions:
+        batch_sampled = None
+        if coordinated and self.batch_dispatch and len(sessions) > 1:
+            assert self.dispatcher is not None
+            batch_sampled = self.dispatcher.sampled_modules_batch(sessions)
+
+        for position, session in enumerate(sessions):
             pkts = session.num_packets
             usage.cpu += cost.capture_cost * pkts
 
-            if coordinated:
+            if batch_sampled is not None:
+                sampled_specs = batch_sampled[position]
+            elif coordinated:
                 sampled_specs = [
                     spec for spec in self.modules if self._sampled(spec, session)
                 ]

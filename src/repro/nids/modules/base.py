@@ -92,6 +92,22 @@ class TrafficFilter:
         # contributes at least its initial SYN, so it matches.
         return True
 
+    def matches_sessions_batch(self, protos, dports):
+        """Vectorized :meth:`matches_session` over field arrays.
+
+        *protos* and *dports* are equal-length NumPy arrays of the
+        sessions' protocol and destination-port fields; returns a
+        boolean mask matching the scalar predicate element-wise.
+        """
+        import numpy as np
+
+        mask = np.ones(len(protos), dtype=bool)
+        if self.proto is not None:
+            mask &= protos == self.proto
+        if self.server_ports:
+            mask &= np.isin(dports, np.fromiter(self.server_ports, dtype=np.int64))
+        return mask
+
     def matches_packet(self, packet: Packet) -> bool:
         if self.proto is not None and packet.tuple.proto != self.proto:
             return False

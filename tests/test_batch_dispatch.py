@@ -1,0 +1,183 @@
+"""Batch dispatch fast path: bit-identical to the scalar Fig. 3 path.
+
+The vectorized engine (``decide_batch`` / ``sampled_modules_batch`` /
+``BroInstance(batch_dispatch=True)``) is an optimization, not a
+semantic change: every test here asserts *exact* equality with the
+per-session scalar procedure — same modules, same coordination units,
+bit-identical hash values, identical analyze verdicts, identical
+emulation reports.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.control.agent import Agent
+from repro.control.bus import Bus
+from repro.core.dispatch import CoordinatedDispatcher
+from repro.core.manifest import full_manifest
+from repro.core.nids_deployment import plan_deployment
+from repro.nids.emulation import emulate_coordinated
+from repro.nids.modules import STANDARD_MODULES
+from repro.topology import PathSet, internet2
+from repro.traffic import GeneratorConfig, TrafficGenerator
+
+
+@pytest.fixture(scope="module")
+def deployment_setup():
+    topo = internet2().set_uniform_capacities(cpu=1.0, mem=1.0)
+    paths = PathSet(topo)
+    generator = TrafficGenerator(topo, paths, config=GeneratorConfig(seed=51))
+    sessions = generator.generate(2000)
+    deployment = plan_deployment(topo, paths, STANDARD_MODULES, sessions)
+    return topo, generator, sessions, deployment
+
+
+class TestDispatcherEquivalence:
+    def test_decide_batch_matches_decide_session(self, deployment_setup):
+        """decide_batch == [decide_session(s) for s] field for field,
+        on every node of the deployment."""
+        topo, _, sessions, deployment = deployment_setup
+        for node in topo.node_names:
+            dispatcher = deployment.dispatcher(node)
+            batch = dispatcher.decide_batch(sessions[:400])
+            for session, decisions in zip(sessions[:400], batch):
+                scalar = dispatcher.decide_session(session)
+                assert len(decisions) == len(scalar)
+                for got, want in zip(decisions, scalar):
+                    assert got.module is want.module
+                    assert got.unit == want.unit
+                    assert got.hash_value == want.hash_value  # bit-exact
+                    assert got.analyze == want.analyze
+
+    def test_sampled_modules_batch_matches_should_analyze(self, deployment_setup):
+        topo, _, sessions, deployment = deployment_setup
+        for node in topo.node_names[:4]:
+            dispatcher = deployment.dispatcher(node)
+            batch = dispatcher.sampled_modules_batch(sessions[:500])
+            for session, sampled in zip(sessions[:500], batch):
+                expected = [
+                    spec
+                    for spec in deployment.modules
+                    if dispatcher.should_analyze(spec, session)
+                ]
+                assert sampled == expected
+
+    def test_batch_with_cold_cache_matches_warm(self, deployment_setup):
+        """A dispatcher with a private empty cache batches identically
+        to one sharing the deployment-wide warm cache."""
+        topo, _, sessions, deployment = deployment_setup
+        node = topo.node_names[2]
+        warm = deployment.dispatcher(node)
+        cold = CoordinatedDispatcher(
+            node=node,
+            manifest=deployment.manifests[node],
+            modules=deployment.modules,
+            resolver=deployment.resolver,
+            hash_seed=deployment.hash_seed,
+        )
+        warm_batch = warm.sampled_modules_batch(sessions[:300])
+        cold_batch = cold.sampled_modules_batch(sessions[:300])
+        assert warm_batch == cold_batch
+
+    def test_empty_and_singleton_batches(self, deployment_setup):
+        topo, _, sessions, deployment = deployment_setup
+        dispatcher = deployment.dispatcher(topo.node_names[0])
+        assert dispatcher.decide_batch([]) == []
+        assert dispatcher.sampled_modules_batch([]) == []
+        single = dispatcher.decide_batch(sessions[:1])
+        assert len(single) == 1
+        scalar = dispatcher.decide_session(sessions[0])
+        assert [d.hash_value for d in single[0]] == [d.hash_value for d in scalar]
+
+    def test_full_manifest_batch_analyzes_all_matched(self, deployment_setup):
+        _, _, sessions, deployment = deployment_setup
+        dispatcher = CoordinatedDispatcher(
+            node="STTL",
+            manifest=full_manifest("STTL"),
+            modules=STANDARD_MODULES,
+            resolver=deployment.resolver,
+        )
+        for decisions in dispatcher.decide_batch(sessions[:200]):
+            for decision in decisions:
+                assert decision.analyze
+
+
+class TestEmulationEquivalence:
+    def test_batch_emulation_report_identical_to_scalar(self, deployment_setup):
+        """emulate_coordinated(batch_dispatch=True) produces the exact
+        report of the scalar path: same CPU, memory, connection counts,
+        per-module loads — on every node."""
+        topo, generator, sessions, deployment = deployment_setup
+        # Fresh private hash caches so neither run warms the other.
+        dep_a = dataclasses.replace(deployment, _shared_hash_cache={})
+        dep_b = dataclasses.replace(deployment, _shared_hash_cache={})
+        scalar = emulate_coordinated(
+            dep_a, generator, sessions, batch_dispatch=False
+        )
+        batch = emulate_coordinated(
+            dep_b, generator, sessions, batch_dispatch=True
+        )
+        assert set(scalar.reports) == set(batch.reports)
+        for node in scalar.reports:
+            a, b = scalar.reports[node], batch.reports[node]
+            assert a.cpu == b.cpu
+            assert a.mem_bytes == b.mem_bytes
+            assert a.tracked_connections == b.tracked_connections
+            assert a.module_cpu == b.module_cpu
+            assert a.module_items == b.module_items
+
+
+class TestAgentBatchQueries:
+    def test_batch_queries_match_scalar(self, deployment_setup):
+        topo, _, sessions, deployment = deployment_setup
+        node = topo.node_names[1]
+        agent = Agent(node=node, bus=Bus())
+        agent.manifest = deployment.manifests[node]
+        hashes = np.linspace(0.0, 1.0 - 2.0**-32, 257)
+        entry_keys = list(deployment.manifests[node].entries)
+        assert entry_keys, "node holds no manifest entries"
+        for class_name, key in entry_keys[:5]:
+            new_batch = agent.responsible_for_new_batch(class_name, key, hashes)
+            existing_batch = agent.responsible_for_existing_batch(
+                class_name, key, hashes
+            )
+            for value, got_new, got_existing in zip(
+                hashes, new_batch, existing_batch
+            ):
+                assert got_new == agent.responsible_for_new(class_name, key, value)
+                assert got_existing == agent.responsible_for_existing(
+                    class_name, key, value
+                )
+
+    def test_batch_queries_during_transition_window(self, deployment_setup):
+        """During the dual-manifest window the existing-connection query
+        is the union of the current and retiring manifests."""
+        topo, _, _, deployment = deployment_setup
+        node = topo.node_names[1]
+        agent = Agent(node=node, bus=Bus())
+        agent.manifest = deployment.manifests[node]
+        agent.retiring = (full_manifest(node), 10.0)
+        class_name, key = next(iter(deployment.manifests[node].entries))
+        hashes = np.linspace(0.0, 0.999, 101)
+        existing = agent.responsible_for_existing_batch(class_name, key, hashes)
+        assert existing.all()  # retiring full manifest claims everything
+        new = agent.responsible_for_new_batch(class_name, key, hashes)
+        expected_new = [
+            agent.responsible_for_new(class_name, key, v) for v in hashes
+        ]
+        assert new.tolist() == expected_new
+
+    def test_dead_agent_batch_claims_nothing(self, deployment_setup):
+        topo, _, _, deployment = deployment_setup
+        node = topo.node_names[1]
+        agent = Agent(node=node, bus=Bus())
+        agent.manifest = deployment.manifests[node]
+        agent.crash()
+        class_name, key = next(iter(deployment.manifests[node].entries))
+        hashes = np.array([0.1, 0.5, 0.9])
+        assert not agent.responsible_for_new_batch(class_name, key, hashes).any()
+        assert not agent.responsible_for_existing_batch(
+            class_name, key, hashes
+        ).any()

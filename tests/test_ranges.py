@@ -28,6 +28,35 @@ class TestHashRange:
         assert r.contains(1.0)
         assert r.contains(0.95)
 
+    def test_epsilon_shortfall_at_top_not_dropped(self):
+        """Regression: a topmost range whose hi is within EPSILON of 1.0
+        (solver-epsilon shortfall) must behave as closed at 1.0.
+
+        Before the fix, HashRange(0.5, 1.0 - 5e-10).contains(1.0 - 1e-12)
+        returned False even though covers_unit_interval accepted the
+        manifest, so hash values in (hi, 1.0) were analyzed by NO node.
+        """
+        r = HashRange(0.5, 1.0 - 5e-10)
+        assert r.contains(1.0 - 1e-12)
+        assert r.contains(1.0 - 2e-10)
+        assert r.contains(1.0)
+        assert not r.contains(0.499)
+
+    def test_epsilon_shortfall_manifest_drops_no_probe(self):
+        """The pre-fix failure mode end to end: ranges that pass the
+        coverage check must claim every probe up to the top."""
+        ranges = [HashRange(0.0, 0.5), HashRange(0.5, 1.0 - 5e-10)]
+        assert covers_unit_interval(ranges, fold=1)
+        for probe in (0.0, 0.25, 0.5, 0.999, 1.0 - 2e-10, 1.0 - 1e-12):
+            assert coverage_depth(ranges, probe) == 1
+
+    def test_interior_ranges_stay_half_open(self):
+        """The closed-top extension applies only near 1.0."""
+        r = HashRange(0.2, 0.6)
+        assert r.contains(0.6 - 1e-12)
+        assert not r.contains(0.6)
+        assert not r.contains(0.6 + 1e-12)
+
     def test_length_and_empty(self):
         assert HashRange(0.2, 0.7).length == pytest.approx(0.5)
         assert HashRange(0.3, 0.3).empty

@@ -1,0 +1,127 @@
+"""Property tests: vectorized Bob hash is bit-identical to the scalar.
+
+The batch dispatch engine is only sound if the NumPy lookup3 produces
+the *exact* digests of the pure-Python reference for every key — a
+single differing bit would route a session to a different node.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.bobhash import bob_hash, hash_unit
+from repro.hashing.keys import Aggregation, key_for
+from repro.hashing.vectorized import (
+    bob_hash_batch,
+    hash_unit_batch,
+    key_hash_unit_batch,
+    pack_key_batch,
+)
+
+HOSTS = st.integers(min_value=0, max_value=2**64 - 1)
+PORTS = st.integers(min_value=0, max_value=2**17)  # beyond 16 bits: masked
+PROTOS = st.integers(min_value=0, max_value=300)  # beyond 8 bits: masked
+SEEDS = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestRawBytes:
+    @given(
+        rows=st.lists(st.binary(min_size=0, max_size=40), min_size=1, max_size=20),
+        seed=SEEDS,
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_digests_bit_identical(self, rows, seed):
+        """Row-wise batch digests equal the scalar digest of each row."""
+        length = max(len(r) for r in rows)
+        padded = [r.ljust(length, b"\0") for r in rows]
+        matrix = np.frombuffer(b"".join(padded), dtype=np.uint8).reshape(
+            len(rows), length
+        )
+        got = bob_hash_batch(matrix, seed)
+        expected = np.array([bob_hash(r, seed) for r in padded], dtype=np.uint32)
+        assert (got == expected).all()
+
+    def test_every_tail_length(self):
+        """Exercise every lookup3 tail case (0..12) and the block loop."""
+        rng = np.random.default_rng(7)
+        for length in range(0, 30):
+            matrix = rng.integers(0, 256, size=(16, length), dtype=np.uint8)
+            got = bob_hash_batch(matrix, 99)
+            expected = np.array(
+                [bob_hash(bytes(row), 99) for row in matrix], dtype=np.uint32
+            )
+            assert (got == expected).all(), f"length {length}"
+
+    def test_unit_mapping_bit_identical(self):
+        rng = np.random.default_rng(11)
+        matrix = rng.integers(0, 256, size=(64, 22), dtype=np.uint8)
+        got = hash_unit_batch(matrix, 3)
+        expected = np.array([hash_unit(bytes(row), 3) for row in matrix])
+        assert (got == expected).all()
+        assert (got >= 0.0).all() and (got < 1.0).all()
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValueError):
+            bob_hash_batch(np.zeros(8, dtype=np.uint8))
+
+
+class TestKeyPacking:
+    @given(
+        src=st.lists(HOSTS, min_size=1, max_size=12),
+        dst=st.lists(HOSTS, min_size=1, max_size=12),
+        sport=PORTS,
+        dport=PORTS,
+        proto=PROTOS,
+        seed=SEEDS,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_all_aggregations_match_scalar(
+        self, src, dst, sport, dport, proto, seed
+    ):
+        n = min(len(src), len(dst))
+        srcs = np.array(src[:n], dtype=np.uint64)
+        dsts = np.array(dst[:n], dtype=np.uint64)
+        sports = np.full(n, sport, dtype=np.int64)
+        dports = np.full(n, dport, dtype=np.int64)
+        protos = np.full(n, proto, dtype=np.int64)
+        for aggregation in Aggregation:
+            matrix = pack_key_batch(aggregation, srcs, dsts, sports, dports, protos)
+            for i in range(n):
+                expected_key = key_for(
+                    aggregation, int(srcs[i]), int(dsts[i]), sport, dport, proto
+                )
+                assert bytes(matrix[i]) == expected_key
+            got = key_hash_unit_batch(
+                aggregation, srcs, dsts, sports, dports, protos, seed
+            )
+            expected = np.array(
+                [
+                    hash_unit(
+                        key_for(
+                            aggregation, int(srcs[i]), int(dsts[i]), sport, dport,
+                            proto,
+                        ),
+                        seed,
+                    )
+                    for i in range(n)
+                ]
+            )
+            assert (got == expected).all(), aggregation
+
+    def test_session_key_direction_independent(self):
+        """Both directions of a connection hash identically in batch."""
+        src = np.array([10, 99], dtype=np.uint64)
+        dst = np.array([99, 10], dtype=np.uint64)
+        sport = np.array([1234, 80], dtype=np.int64)
+        dport = np.array([80, 1234], dtype=np.int64)
+        proto = np.array([6, 6], dtype=np.int64)
+        values = key_hash_unit_batch(Aggregation.SESSION, src, dst, sport, dport, proto)
+        assert values[0] == values[1]
+
+    def test_seed_changes_digest(self):
+        src = np.arange(8, dtype=np.uint64)
+        args = (src, src + 1, src.astype(np.int64), src.astype(np.int64), np.full(8, 6, np.int64))
+        a = key_hash_unit_batch(Aggregation.FLOW, *args, seed=0)
+        b = key_hash_unit_batch(Aggregation.FLOW, *args, seed=1)
+        assert (a != b).any()
