@@ -24,7 +24,9 @@ import time
 from repro.core.nids_deployment import plan_deployment
 from repro.experiments import scaled
 from repro.nids.emulation import emulate_coordinated
+from repro.nids.engine import EmulationConfig
 from repro.nids.modules import STANDARD_MODULES
+from repro.obs import MetricsRegistry
 from repro.topology import PathSet, internet2
 from repro.traffic import GeneratorConfig, TrafficGenerator
 
@@ -71,14 +73,29 @@ def run_dispatch_benchmark(num_sessions: int, seed: int = 51) -> dict:
     batch_seconds = time.perf_counter() - start
 
     # -- full emulation end to end, plus report equivalence ----------
-    def timed_emulation(batch: bool):
+    def timed_emulation(batch: bool, registry=None):
         dep = fresh()
+        config = EmulationConfig(batch_dispatch=batch)
         start = time.perf_counter()
-        usage = emulate_coordinated(dep, generator, sessions, batch_dispatch=batch)
+        usage = emulate_coordinated(
+            dep, generator, sessions, config=config, registry=registry
+        )
         return time.perf_counter() - start, usage
 
     emu_scalar_seconds, scalar_usage = timed_emulation(batch=False)
     emu_batch_seconds, batch_usage = timed_emulation(batch=True)
+
+    # -- telemetry overhead: live registry vs. the no-op default -----
+    # Best-of-two per variant so a single scheduler hiccup cannot
+    # masquerade as instrumentation cost.
+    noop_seconds = min(timed_emulation(batch=True)[0] for _ in range(2))
+    live_seconds, live_usage = timed_emulation(batch=True, registry=MetricsRegistry())
+    live_seconds = min(live_seconds, timed_emulation(batch=True, registry=MetricsRegistry())[0])
+    registry_identical = all(
+        batch_usage.reports[node].cpu == live_usage.reports[node].cpu
+        and batch_usage.reports[node].mem_bytes == live_usage.reports[node].mem_bytes
+        for node in batch_usage.reports
+    )
 
     identical = all(
         scalar_usage.reports[node].cpu == batch_usage.reports[node].cpu
@@ -106,6 +123,12 @@ def run_dispatch_benchmark(num_sessions: int, seed: int = 51) -> dict:
             "batch_seconds": round(emu_batch_seconds, 4),
             "speedup": round(emu_scalar_seconds / emu_batch_seconds, 2),
         },
+        "telemetry_overhead": {
+            "noop_registry_seconds": round(noop_seconds, 4),
+            "live_registry_seconds": round(live_seconds, 4),
+            "overhead_fraction": round(live_seconds / noop_seconds - 1.0, 4),
+            "reports_identical": registry_identical,
+        },
         "reports_identical": identical,
     }
 
@@ -122,6 +145,11 @@ def test_batch_dispatch_smoke():
     assert result["reports_identical"], "batch reports diverge from scalar"
     assert result["dispatch"]["speedup"] > 1.5, result
     assert result["emulation_end_to_end"]["speedup"] > 1.0, result
+    telemetry = result["telemetry_overhead"]
+    assert telemetry["reports_identical"], "live registry changed the results"
+    # A live registry may cost at most 10% throughput vs. the no-op
+    # default (the tentpole budget is 5%; smoke allows timing noise).
+    assert telemetry["overhead_fraction"] <= 0.10, telemetry
 
 
 if __name__ == "__main__":

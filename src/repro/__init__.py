@@ -47,6 +47,17 @@ from .traffic import TrafficGenerator, TrafficMatrix, mixed_profile
 __version__ = "1.0.0"
 
 
+def __getattr__(name: str):
+    # PEP 562: the stable facade (repro.api) pulls in the emulation,
+    # control, and reporting stacks — load it only on first access so
+    # `import repro` stays light.
+    if name == "api":
+        import importlib
+
+        return importlib.import_module(".api", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 def quick_nids_deployment(num_sessions: int = 2000, seed: int = 1):
     """Plan a coordinated NIDS deployment on Internet2 in one call.
 
@@ -67,6 +78,7 @@ def quick_nids_deployment(num_sessions: int = 2000, seed: int = 1):
 
 
 __all__ = [
+    "api",
     "CoordinatedDispatcher",
     "FPLConfig",
     "NIDSDeployment",

@@ -1,0 +1,153 @@
+"""Stable public API for the network-wide NIDS/NIPS reproduction.
+
+``repro.api`` is the supported surface for programmatic users: one
+flat namespace re-exporting the blessed entry points of each
+subsystem.  Anything importable from here follows the deprecation
+policy (old keyword shims emit :class:`DeprecationWarning` for at
+least one release before removal); internal module paths may move
+without notice.
+
+The facade groups into five areas:
+
+* **planning** — :func:`plan_deployment` / :class:`NIDSDeployment`
+  (the measure → LP → manifests pipeline), :func:`solve_nids_lp`,
+  :func:`generate_manifests` / :func:`verify_manifests`, and the NIPS
+  side (:func:`build_nips_problem`, :func:`solve_relaxation`,
+  :func:`best_of_roundings`);
+* **emulation** — :class:`EmulationConfig` plus
+  :func:`emulate_edge` / :func:`emulate_coordinated` /
+  :func:`compare_deployments` and :class:`BroMode`;
+* **coordination plane** — :func:`run_scenario`,
+  :class:`ScenarioConfig`, :func:`standard_scenario`;
+* **telemetry** — :class:`MetricsRegistry`, :data:`NULL_REGISTRY`,
+  :func:`use_registry` (see ``docs/observability.md``);
+* **reporting** — the :class:`Report` classes shared by the figure
+  artifacts and metrics snapshots.
+
+Quickstart::
+
+    from repro import api
+
+    deployment = api.quick_nids_deployment()
+    registry = api.MetricsRegistry()
+    profile = api.emulate_coordinated(
+        deployment, generator, sessions, registry=registry
+    )
+    api.MetricsSnapshotReport(registry).write(sys.stdout, fmt="json")
+"""
+
+from __future__ import annotations
+
+# -- topology + traffic ----------------------------------------------------
+from . import __version__, quick_nids_deployment
+from .topology import PathSet, Topology, geant, internet2, rocketfuel
+from .traffic import TrafficGenerator, TrafficMatrix, mixed_profile
+
+# -- planning (NIDS LP -> manifests, NIPS MILP -> rounding) ---------------
+from .core import (
+    CoordinatedDispatcher,
+    FPLConfig,
+    NIDSDeployment,
+    NIPSProblem,
+    RoundingVariant,
+    best_of_roundings,
+    build_nips_problem,
+    generate_manifests,
+    plan_deployment,
+    run_online_adaptation,
+    solve_nids_lp,
+    solve_relaxation,
+    verify_manifests,
+)
+
+# -- emulation -------------------------------------------------------------
+from .nids import (
+    BroMode,
+    EmulationConfig,
+    compare_deployments,
+    emulate_coordinated,
+    emulate_edge,
+)
+
+# -- coordination plane ----------------------------------------------------
+from .control import (
+    ScenarioConfig,
+    ScenarioResult,
+    run_scenario,
+    standard_scenario,
+)
+
+# -- telemetry -------------------------------------------------------------
+from .obs import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+
+# -- reporting -------------------------------------------------------------
+from .reporting import (
+    ComparisonReport,
+    ControlEpochsReport,
+    MetricsSnapshotReport,
+    MicrobenchReport,
+    PerNodeReport,
+    RegretReport,
+    Report,
+    RoundingReport,
+)
+
+__all__ = [
+    # topology + traffic
+    "PathSet",
+    "Topology",
+    "TrafficGenerator",
+    "TrafficMatrix",
+    "geant",
+    "internet2",
+    "mixed_profile",
+    "rocketfuel",
+    # planning
+    "CoordinatedDispatcher",
+    "FPLConfig",
+    "NIDSDeployment",
+    "NIPSProblem",
+    "RoundingVariant",
+    "best_of_roundings",
+    "build_nips_problem",
+    "generate_manifests",
+    "plan_deployment",
+    "quick_nids_deployment",
+    "run_online_adaptation",
+    "solve_nids_lp",
+    "solve_relaxation",
+    "verify_manifests",
+    # emulation
+    "BroMode",
+    "EmulationConfig",
+    "compare_deployments",
+    "emulate_coordinated",
+    "emulate_edge",
+    # coordination plane
+    "ScenarioConfig",
+    "ScenarioResult",
+    "run_scenario",
+    "standard_scenario",
+    # telemetry
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    # reporting
+    "ComparisonReport",
+    "ControlEpochsReport",
+    "MetricsSnapshotReport",
+    "MicrobenchReport",
+    "PerNodeReport",
+    "RegretReport",
+    "Report",
+    "RoundingReport",
+    "__version__",
+]

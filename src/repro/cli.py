@@ -215,8 +215,13 @@ def cmd_control_run(args) -> int:
             fail_node=args.fail_node,
             **common,
         )
+    registry = None
+    if args.metrics_out:
+        from .obs import MetricsRegistry
+
+        registry = MetricsRegistry()
     try:
-        result = run_scenario(config)
+        result = run_scenario(config, registry=registry)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -262,6 +267,13 @@ def cmd_control_run(args) -> int:
         with open(args.output, "w", newline="") as stream:
             reporting.control_epochs_csv(result.records, stream)
         print(f"wrote per-epoch records to {args.output}")
+    if registry is not None:
+        from .reporting import MetricsSnapshotReport
+
+        fmt = "prom" if args.metrics_out.endswith(".prom") else "json"
+        with open(args.metrics_out, "w") as stream:
+            MetricsSnapshotReport(registry).write(stream, fmt=fmt)
+        print(f"wrote telemetry snapshot ({fmt}) to {args.metrics_out}")
     violations = result.check_acceptance()
     if violations:
         print("ACCEPTANCE VIOLATIONS:")
@@ -396,6 +408,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="steady-state run without scripted shift/failure/recovery",
     )
     run.add_argument("--output", help="write per-epoch records CSV here")
+    run.add_argument(
+        "--metrics-out",
+        help="enable telemetry and write the snapshot here"
+        " (JSON; Prometheus text if the path ends in .prom)",
+    )
     run.set_defaults(func=cmd_control_run)
 
     figures = sub.add_parser("figures", help="write figure data as CSV artifacts")

@@ -32,6 +32,7 @@ from ..core.manifest_index import ManifestIndex
 from ..core.manifest_io import apply_manifest_delta, manifest_from_dict
 from ..core.units import UnitKey
 from ..measurement.flows import FlowExporter
+from ..obs import MetricsRegistry, NULL_REGISTRY
 from ..traffic.session import Session
 from .bus import Bus, Message
 
@@ -77,11 +78,13 @@ class Agent:
         bus: Bus,
         exporter: Optional[FlowExporter] = None,
         config: Optional[AgentConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.node = node
         self.bus = bus
         self.exporter = exporter or FlowExporter()
         self.config = config or AgentConfig()
+        self.registry = registry if registry is not None else NULL_REGISTRY
         self.alive = True
         self.applied_version = -1
         self.manifest = NodeManifest(node=node)
@@ -125,6 +128,11 @@ class Agent:
             if message.kind == "manifest-update":
                 self._handle_update(message, now)
         if sessions is not None:
+            self.registry.counter(
+                "agent_dispatch_sessions_total",
+                "ingress sessions measured (and dispatched on) per node",
+                labels=("node",),
+            ).inc(len(sessions), node=self.node)
             report = self.exporter.measure(
                 sessions, interval_seconds=self.config.heartbeat_interval
             )
@@ -152,6 +160,11 @@ class Agent:
             self.retiring = None
 
     def _ack(self, version: int, status: str, now: float) -> None:
+        self.registry.counter(
+            "agent_updates_total",
+            "manifest updates acknowledged by outcome",
+            labels=("status",),
+        ).inc(status=status)
         self.bus.send(
             self.node,
             self.config.controller,

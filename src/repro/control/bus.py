@@ -21,6 +21,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..obs import MetricsRegistry, NULL_REGISTRY
+
 
 @dataclass(frozen=True)
 class Message:
@@ -70,8 +72,13 @@ class BusStats:
 class Bus:
     """Discrete-event message channel between controller and agents."""
 
-    def __init__(self, config: Optional[BusConfig] = None):
+    def __init__(
+        self,
+        config: Optional[BusConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
         self.config = config or BusConfig()
+        self.registry = registry if registry is not None else NULL_REGISTRY
         self.stats = BusStats()
         self._rng = random.Random(self.config.seed)
         self._in_flight: List[Message] = []
@@ -98,8 +105,20 @@ class Bus:
         self.stats.bytes_by_kind[kind] = (
             self.stats.bytes_by_kind.get(kind, 0) + size_bytes
         )
+        registry = self.registry
+        registry.counter(
+            "bus_messages_total", "control-plane messages sent", labels=("kind",)
+        ).inc(kind=kind)
+        registry.counter(
+            "bus_bytes_total", "control-plane bytes sent", labels=("kind",)
+        ).inc(size_bytes, kind=kind)
         if self.config.loss_rate > 0 and self._rng.random() < self.config.loss_rate:
             self.stats.dropped += 1
+            registry.counter(
+                "bus_dropped_total",
+                "control-plane messages lost in the channel",
+                labels=("kind",),
+            ).inc(kind=kind)
             return None
         delay = self.config.latency
         if self.config.jitter > 0:

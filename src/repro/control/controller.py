@@ -45,6 +45,7 @@ from ..core.units import CoordinationUnit
 from ..measurement.estimation import EstimationModel, estimate_units
 from ..measurement.flows import TrafficReport
 from ..nids.modules.base import ModuleSpec
+from ..obs import MetricsRegistry, NULL_REGISTRY
 from ..topology.graph import Topology
 from ..topology.routing import PathSet
 from .bus import Bus
@@ -133,12 +134,14 @@ class Controller:
         bus: Bus,
         config: Optional[ControllerConfig] = None,
         solve_fn: Optional[SolveFn] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.topology = topology
         self.paths = paths
         self.modules = list(modules)
         self.bus = bus
         self.config = config or ControllerConfig()
+        self.registry = registry if registry is not None else NULL_REGISTRY
         self.solve_fn = solve_fn or (
             lambda units, topo, coverage: solve_nids_lp(units, topo, coverage)
         )
@@ -168,6 +171,26 @@ class Controller:
         # Per-epoch scratch, reset by step().
         self._epoch = EpochRecord(epoch=-1, time=0.0)
         self._epoch_lags: List[float] = []
+        # Pre-declare the health families that only record on rare
+        # events, so every snapshot carries them (value 0 ≠ absent).
+        self.registry.counter(
+            "controller_push_retries_total",
+            "unacknowledged pushes retransmitted",
+        )
+        self.registry.counter(
+            "controller_repairs_total",
+            "targeted failure-repair redistributions",
+        )
+        self.registry.counter(
+            "heartbeat_failures_total",
+            "nodes declared failed after missed heartbeats",
+            labels=("node",),
+        )
+        self.registry.histogram(
+            "epoch_convergence_seconds",
+            "simulated seconds from first push to last ack per"
+            " reconfiguration epoch",
+        )
 
     # -- inbox ------------------------------------------------------------
     def _drain(self, now: float) -> None:
@@ -200,6 +223,10 @@ class Controller:
         if state.acked_at is None:
             state.acked_at = now
             self._epoch_lags.append(now - state.first_sent)
+            self.registry.histogram(
+                "push_ack_lag_seconds",
+                "simulated push-to-acknowledgement lag per agent",
+            ).observe(now - state.first_sent)
         self.acked_version[node] = state.version
         self.acked_manifests[node] = state.manifest
         self.needs_full.discard(node)
@@ -255,6 +282,18 @@ class Controller:
 
     def _resolve(self, now: float, reason: str) -> None:
         """Full re-plan: estimate → LP → manifests → stabilize."""
+        with self.registry.timer(
+            "controller_resolve_seconds",
+            "wall-clock seconds per full re-plan (estimate/LP/manifests)",
+        ):
+            self._resolve_inner(now, reason)
+        self.registry.counter(
+            "controller_resolves_total",
+            "full re-plans by trigger",
+            labels=("reason",),
+        ).inc(reason=reason)
+
+    def _resolve_inner(self, now: float, reason: str) -> None:
         estimated = self._estimated_units()
         self._reference_class_cpu = self._class_cpu(estimated)
         units = self._exclude_failed(estimated)
@@ -288,6 +327,15 @@ class Controller:
         )
         self._adopt(result.manifests, self.planned_units, assignment, now, "failure")
         self.stats.repairs += 1
+        self.registry.counter(
+            "controller_repairs_total",
+            "targeted failure-repair redistributions",
+        ).inc()
+        if result.orphaned:
+            self.registry.gauge(
+                "repair_orphaned_mass",
+                "hash-space mass with no live eligible node after the last repair",
+            ).set(sum(mass for _ident, mass in result.orphaned))
 
     def _adopt(
         self,
@@ -421,6 +469,16 @@ class Controller:
         )
         self.outstanding[node] = state
         self._transmit(node, state, now, retry=False)
+        self.registry.counter(
+            "controller_pushes_total",
+            "manifest pushes by wire mode",
+            labels=("mode",),
+        ).inc(mode=mode)
+        self.registry.counter(
+            "controller_push_bytes_total",
+            "manifest bytes pushed by wire mode",
+            labels=("mode",),
+        ).inc(size, mode=mode)
         if mode == "full":
             self.stats.pushes_full += 1
             self._epoch.pushes_full += 1
@@ -437,6 +495,10 @@ class Controller:
     ) -> None:
         if retry:
             self.stats.retries += 1
+            self.registry.counter(
+                "controller_push_retries_total",
+                "unacknowledged pushes retransmitted",
+            ).inc()
             self._epoch.push_bytes += state.size_bytes
             self._epoch.full_equivalent_bytes += state.full_bytes
             self.stats.push_bytes += state.size_bytes
@@ -461,6 +523,12 @@ class Controller:
 
         self._drain(now)
         newly_failed = self.monitor.sweep(now)
+        for node in newly_failed:
+            self.registry.counter(
+                "heartbeat_failures_total",
+                "nodes declared failed after missed heartbeats",
+                labels=("node",),
+            ).inc(node=node)
 
         reason = ""
         if self.deployment is None:
@@ -500,6 +568,22 @@ class Controller:
         record.failed_nodes = tuple(sorted(self.monitor.failed))
         record.reconfig_lag = max(self._epoch_lags, default=0.0)
         record.converged = not self.unsynced_live_nodes()
+        registry = self.registry
+        registry.counter(
+            "epochs_total", "epochs closed by convergence outcome",
+            labels=("converged",),
+        ).inc(converged=str(record.converged).lower())
+        if self._epoch_lags:
+            registry.histogram(
+                "epoch_convergence_seconds",
+                "simulated seconds from first push to last ack per"
+                " reconfiguration epoch",
+            ).observe(record.reconfig_lag)
+        if self.version >= 0:
+            registry.gauge(
+                "controller_config_version",
+                "currently adopted configuration version",
+            ).set(self.version)
         return record
 
     # -- introspection ----------------------------------------------------

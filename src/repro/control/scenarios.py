@@ -34,6 +34,7 @@ from ..core.units import build_units
 from ..hashing.ranges import HashRange
 from ..measurement.flows import FlowExporter
 from ..nids.modules import STANDARD_MODULES
+from ..obs import MetricsRegistry, NULL_REGISTRY, use_registry
 from ..topology import PathSet, by_label
 from ..traffic.dynamics import DiurnalBurstModel
 from ..traffic.generator import GeneratorConfig, TrafficGenerator
@@ -274,8 +275,27 @@ def _ranges_reassigned(
     return True
 
 
-def run_scenario(config: ScenarioConfig) -> ScenarioResult:
-    """Execute *config* and collect per-epoch records + verdicts."""
+def run_scenario(
+    config: ScenarioConfig,
+    registry: Optional[MetricsRegistry] = None,
+) -> ScenarioResult:
+    """Execute *config* and collect per-epoch records + verdicts.
+
+    *registry* (optional) receives control-plane telemetry from every
+    component of the run — bus channel counters, controller re-plan and
+    push/retry activity, per-agent ingress session counts — and is
+    installed as the ambient registry for the duration, so the LP
+    solves the controller triggers land in the same snapshot.
+    """
+    if registry is not None and registry.enabled:
+        with use_registry(registry):
+            return _run_scenario(config, registry)
+    return _run_scenario(config, NULL_REGISTRY)
+
+
+def _run_scenario(
+    config: ScenarioConfig, registry: MetricsRegistry
+) -> ScenarioResult:
     topology = by_label(config.topology).set_uniform_capacities(cpu=1.0, mem=1.0)
     known = set(topology.node_names)
     for event in config.events:
@@ -293,7 +313,8 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
             jitter=config.jitter,
             loss_rate=config.loss_rate,
             seed=config.seed,
-        )
+        ),
+        registry=registry,
     )
     controller = Controller(
         topology,
@@ -307,6 +328,7 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
             drift_threshold=config.drift_threshold,
             headroom=config.headroom,
         ),
+        registry=registry,
     )
     agent_config = AgentConfig(transition_window=config.transition_window)
     agents: Dict[str, Agent] = {}
@@ -319,6 +341,7 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
                 seed=config.seed + index,
             ),
             config=agent_config,
+            registry=registry,
         )
 
     volume_model = DiurnalBurstModel(
@@ -387,6 +410,10 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         record.coverage = summary.coverage
         record.min_unit_coverage = summary.min_unit_coverage
         record.orphaned_fraction = summary.orphaned_fraction
+        registry.gauge(
+            "epoch_coverage",
+            "ground-truth volume-weighted coverage of the latest epoch",
+        ).set(record.coverage)
 
         # A transition window is any epoch where the configuration is
         # still propagating (push unacked) or a crashed node's ranges

@@ -121,6 +121,13 @@ class CoordinatedDispatcher:
             hash_cache if hash_cache is not None else {}
         )
         self._manifest_index: Optional[ManifestIndex] = None
+        # Plain ints, not registry metrics: _hash runs once per
+        # (session, aggregation) and a registry call there would blow
+        # the telemetry overhead budget.  The engine reads these as
+        # deltas at end of trace and folds them into its registry.
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.batch_hashes = 0
 
     @property
     def index(self) -> ManifestIndex:
@@ -148,6 +155,9 @@ class CoordinatedDispatcher:
             key = key_for(aggregation, src, dst, sport, dport, proto)
             cached = hash_unit(key, self.hash_seed)
             sub[cache_key] = cached
+            self.cache_misses += 1
+        else:
+            self.cache_hits += 1
         return cached
 
     def _hash_batch(
@@ -172,6 +182,7 @@ class CoordinatedDispatcher:
         values = key_hash_unit_batch(
             aggregation, src, dst, sport, dport, proto, self.hash_seed
         )
+        self.batch_hashes += len(values)
         sub = self._hash_cache.setdefault(aggregation, {})
         if not sub:
             for t, value in zip(tuples, values.tolist()):

@@ -25,6 +25,7 @@ from ..hashing.ranges import (
     are_disjoint,
     covers_unit_interval,
 )
+from ..obs import COUNT_BUCKETS, get_registry
 from .nids_lp import NIDSAssignment
 from .units import CoordinationUnit, UnitKey
 
@@ -144,6 +145,15 @@ def generate_manifests(
                 manifests[node].entries[key] = entry[:-1] + (
                     HashRange(tail.lo, 1.0),
                 )
+    registry = get_registry()
+    registry.counter(
+        "manifest_generations_total", "Fig. 2 manifest-generation runs"
+    ).inc()
+    registry.histogram(
+        "manifest_entries_per_generation",
+        "(node, unit) entries produced per generation run",
+        buckets=COUNT_BUCKETS,
+    ).observe(sum(m.num_entries for m in manifests.values()))
     return manifests
 
 

@@ -27,6 +27,7 @@ import json
 from typing import Dict, Mapping
 
 from ..hashing.ranges import HashRange
+from ..obs import COUNT_BUCKETS, get_registry
 from .manifest import NodeManifest
 from .nids_lp import NIDSAssignment
 
@@ -109,6 +110,16 @@ def manifest_diff(old: NodeManifest, new: NodeManifest) -> dict:
         for (class_name, key) in sorted(old.entries)
         if (class_name, key) not in new.entries
     ]
+    registry = get_registry()
+    registry.counter(
+        "manifest_deltas_total", "manifest deltas computed",
+        labels=("empty",),
+    ).inc(empty=str(not changed and not removed).lower())
+    registry.histogram(
+        "manifest_delta_entries",
+        "changed+removed entries per computed delta",
+        buckets=COUNT_BUCKETS,
+    ).observe(len(changed) + len(removed))
     return {
         "version": SCHEMA_VERSION,
         "kind": "delta",

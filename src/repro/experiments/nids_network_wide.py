@@ -16,6 +16,7 @@ from ..core.nids_deployment import NIDSDeployment, plan_deployment
 from ..nids.emulation import (
     ComparisonRow,
     DeploymentUsage,
+    EmulationConfig,
     emulate_coordinated,
     emulate_edge,
 )
@@ -75,13 +76,14 @@ def fig6_module_scaling(
     HTTP/IRC/Login/TFTP instances grow the module set from 8 to 21.
     """
     setup = NetworkWideSetup.internet2(seed)
+    config = EmulationConfig(cost_model=cost_model)
     total = sessions_total if sessions_total is not None else scaled(PAPER_SESSIONS)
     sessions = setup.generator.generate(total)
     rows = []
     for count in module_counts:
         deployment = setup.deployment(sessions, count)
-        edge = emulate_edge(setup.generator, sessions, deployment.modules, cost_model)
-        coord = emulate_coordinated(deployment, setup.generator, sessions, cost_model)
+        edge = emulate_edge(setup.generator, sessions, deployment.modules, config=config)
+        coord = emulate_coordinated(deployment, setup.generator, sessions, config=config)
         rows.append(
             ComparisonRow(
                 x=count,
@@ -106,12 +108,13 @@ def fig7_volume_scaling(
     center would re-run the LP as traffic reports change).
     """
     setup = NetworkWideSetup.internet2(seed)
+    config = EmulationConfig(cost_model=cost_model)
     rows = []
     for volume in volume_points:
         sessions = setup.generator.generate(scaled(volume))
         deployment = setup.deployment(sessions, num_modules)
-        edge = emulate_edge(setup.generator, sessions, deployment.modules, cost_model)
-        coord = emulate_coordinated(deployment, setup.generator, sessions, cost_model)
+        edge = emulate_edge(setup.generator, sessions, deployment.modules, config=config)
+        coord = emulate_coordinated(deployment, setup.generator, sessions, config=config)
         rows.append(
             ComparisonRow(
                 x=volume,
@@ -159,11 +162,12 @@ def fig8_per_node_profile(
     offloads its responsibilities to transit nodes.
     """
     setup = NetworkWideSetup.internet2(seed)
+    config = EmulationConfig(cost_model=cost_model)
     total = sessions_total if sessions_total is not None else scaled(PAPER_SESSIONS)
     sessions = setup.generator.generate(total)
     deployment = setup.deployment(sessions, num_modules)
-    edge = emulate_edge(setup.generator, sessions, deployment.modules, cost_model)
-    coord = emulate_coordinated(deployment, setup.generator, sessions, cost_model)
+    edge = emulate_edge(setup.generator, sessions, deployment.modules, config=config)
+    coord = emulate_coordinated(deployment, setup.generator, sessions, config=config)
     return PerNodeProfile(
         nodes=setup.topology.node_names, edge=edge, coordinated=coord
     )

@@ -15,6 +15,7 @@ from typing import Dict, List
 
 from scipy.optimize import linprog
 
+from ..obs import COUNT_BUCKETS, get_registry
 from .model import LinearProgram, Variable
 
 
@@ -114,12 +115,14 @@ def solve(program: LinearProgram, method: str = "highs") -> LPSolution:
             method=method,
         )
     except ValueError as exc:
+        elapsed = time.perf_counter() - started
+        _record_solve(program, SolveStatus.ERROR, elapsed, None)
         return LPSolution(
             status=SolveStatus.ERROR,
             objective=float("nan"),
             values=[],
             variable_names=compiled.variable_names,
-            solve_seconds=time.perf_counter() - started,
+            solve_seconds=elapsed,
             message=str(exc),
         )
     elapsed = time.perf_counter() - started
@@ -151,6 +154,8 @@ def solve(program: LinearProgram, method: str = "highs") -> LPSolution:
     if eqlin is not None and getattr(eqlin, "marginals", None) is not None:
         eq_duals = [sign * float(v) for v in eqlin.marginals]
 
+    _record_solve(program, status, elapsed, getattr(result, "nit", None))
+
     return LPSolution(
         status=status,
         objective=objective,
@@ -163,6 +168,37 @@ def solve(program: LinearProgram, method: str = "highs") -> LPSolution:
         ineq_names=compiled.ineq_names,
         eq_names=compiled.eq_names,
     )
+
+
+def _record_solve(
+    program: LinearProgram, status: SolveStatus, elapsed: float, nit
+) -> None:
+    """Record one solve into the ambient telemetry registry.
+
+    This backend is the single funnel every LP in the system flows
+    through (NIDS assignment, NIPS relaxation/rounding, MILP node
+    relaxations), so recording here gives the unified snapshot its
+    solver section without threading a registry down the call chain.
+    A no-op under the default null registry.
+    """
+    registry = get_registry()
+    registry.counter(
+        "lp_solves_total",
+        "LP solves by backend outcome",
+        labels=("status",),
+    ).inc(status=status.value)
+    registry.histogram(
+        "lp_solve_seconds", "wall-clock seconds per LP solve"
+    ).observe(elapsed)
+    registry.histogram(
+        "lp_variables", "decision variables per solved program",
+        buckets=COUNT_BUCKETS,
+    ).observe(program.num_variables)
+    if nit is not None:
+        registry.histogram(
+            "lp_iterations", "simplex/IPM iterations per solve",
+            buckets=COUNT_BUCKETS,
+        ).observe(float(nit))
 
 
 def solve_or_raise(program: LinearProgram, method: str = "highs") -> LPSolution:

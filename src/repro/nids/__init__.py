@@ -22,6 +22,7 @@ from .resources import CostModel, DEFAULT_COST_MODEL, ResourceUsage
 _LAZY_EXPORTS = {
     "BroInstance": ("repro.nids.engine", "BroInstance"),
     "BroMode": ("repro.nids.engine", "BroMode"),
+    "EmulationConfig": ("repro.nids.engine", "EmulationConfig"),
     "InstanceReport": ("repro.nids.engine", "InstanceReport"),
     "ComparisonRow": ("repro.nids.emulation", "ComparisonRow"),
     "DeploymentUsage": ("repro.nids.emulation", "DeploymentUsage"),
@@ -76,6 +77,7 @@ __all__ = [
     "DEFAULT_COST_MODEL",
     "DeploymentUsage",
     "Detector",
+    "EmulationConfig",
     "InstanceReport",
     "MicrobenchRow",
     "ModuleSpec",

@@ -14,14 +14,21 @@ footprints are reported.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.nids_deployment import NIDSDeployment
+from ..obs import MetricsRegistry
 from ..traffic.generator import TrafficGenerator
 from ..traffic.session import Session
-from .engine import BroInstance, BroMode, InstanceReport
+from .engine import (
+    _UNSET,
+    _resolve_config,
+    BroInstance,
+    BroMode,
+    EmulationConfig,
+    InstanceReport,
+)
 from .modules.base import Alert, ModuleSpec
-from .resources import CostModel, DEFAULT_COST_MODEL
 
 
 @dataclass
@@ -83,22 +90,34 @@ def emulate_edge(
     generator: TrafficGenerator,
     sessions: Sequence[Session],
     modules: Sequence[ModuleSpec],
-    cost_model: CostModel = DEFAULT_COST_MODEL,
-    run_detectors: bool = False,
+    cost_model: object = _UNSET,
+    run_detectors: object = _UNSET,
+    *,
+    config: Optional[EmulationConfig] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> DeploymentUsage:
     """Edge-only deployment: each location independently runs stock Bro
-    on the traffic originating or terminating there."""
+    on the traffic originating or terminating there.
+
+    Run options are carried by ``config``; the bare ``cost_model`` /
+    ``run_detectors`` keywords are deprecated shims.  ``registry``
+    (overriding ``config.registry``) receives runtime telemetry."""
+    config = _resolve_config(
+        config, registry, cost_model=cost_model, run_detectors=run_detectors
+    )
     traces = generator.split_by_node(list(sessions), transit=False)
     reports = {}
-    for node, trace in traces.items():
-        instance = BroInstance(
-            node=node,
-            modules=modules,
-            mode=BroMode.UNMODIFIED,
-            cost_model=cost_model,
-            run_detectors=run_detectors,
-        )
-        reports[node] = instance.process_sessions(trace)
+    with config.registry.timer(
+        "emulate_edge_seconds", "wall-clock seconds per edge-only emulation"
+    ):
+        for node, trace in traces.items():
+            instance = BroInstance(
+                node=node,
+                modules=modules,
+                mode=BroMode.UNMODIFIED,
+                config=config,
+            )
+            reports[node] = instance.process_sessions(trace)
     return DeploymentUsage(label="edge", reports=reports)
 
 
@@ -106,38 +125,55 @@ def emulate_coordinated(
     deployment: NIDSDeployment,
     generator: TrafficGenerator,
     sessions: Sequence[Session],
-    cost_model: CostModel = DEFAULT_COST_MODEL,
-    run_detectors: bool = False,
-    mode: BroMode = BroMode.COORD_EVENT,
-    fine_grained: bool = False,
-    batch_dispatch: bool = True,
+    cost_model: object = _UNSET,
+    run_detectors: object = _UNSET,
+    mode: object = _UNSET,
+    fine_grained: object = _UNSET,
+    batch_dispatch: object = _UNSET,
+    *,
+    config: Optional[EmulationConfig] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> DeploymentUsage:
     """Coordinated deployment: every node runs a coordination-enabled
     instance over its full trace including transit traffic, sampling
     per its manifest.  The default mode is approach 2 (checks as early
-    as possible) — the configuration the paper selects; ``mode`` may be
-    set to ``COORD_POLICY`` for the approach-1 ablation.
+    as possible) — the configuration the paper selects;
+    ``EmulationConfig(mode=BroMode.COORD_POLICY)`` selects the
+    approach-1 ablation.
 
-    ``batch_dispatch`` selects the vectorized Fig. 3 fast path (the
-    default; decisions are bit-identical to the scalar path) —
-    ``False`` forces per-session scalar dispatch, kept for equivalence
-    tests and benchmarking."""
-    if mode is BroMode.UNMODIFIED:
+    Run options are carried by ``config``
+    (:class:`~repro.nids.engine.EmulationConfig`); the bare keywords
+    (``cost_model``, ``mode``, ``batch_dispatch``, ...) are deprecated
+    shims kept for pre-config callers.  ``registry`` (overriding
+    ``config.registry``) receives runtime telemetry: per-node dispatch
+    counts, hash-cache hits, tracked/light connection tallies, and
+    trace throughput."""
+    config = _resolve_config(
+        config,
+        registry,
+        cost_model=cost_model,
+        run_detectors=run_detectors,
+        mode=mode,
+        fine_grained=fine_grained,
+        batch_dispatch=batch_dispatch,
+    )
+    if config.mode is BroMode.UNMODIFIED:
         raise ValueError("coordinated emulation requires a coordinated mode")
     traces = generator.split_by_node(list(sessions), transit=True)
     reports = {}
-    for node, trace in traces.items():
-        instance = BroInstance(
-            node=node,
-            modules=deployment.modules,
-            mode=mode,
-            dispatcher=deployment.dispatcher(node),
-            cost_model=cost_model,
-            run_detectors=run_detectors,
-            fine_grained=fine_grained,
-            batch_dispatch=batch_dispatch,
-        )
-        reports[node] = instance.process_sessions(trace)
+    with config.registry.timer(
+        "emulate_coordinated_seconds",
+        "wall-clock seconds per coordinated emulation",
+    ):
+        for node, trace in traces.items():
+            instance = BroInstance(
+                node=node,
+                modules=deployment.modules,
+                mode=config.mode,
+                dispatcher=deployment.dispatcher(node),
+                config=config,
+            )
+            reports[node] = instance.process_sessions(trace)
     return DeploymentUsage(label="coordinated", reports=reports)
 
 
@@ -167,11 +203,15 @@ def compare_deployments(
     generator: TrafficGenerator,
     sessions: Sequence[Session],
     x: float,
-    cost_model: CostModel = DEFAULT_COST_MODEL,
+    cost_model: object = _UNSET,
+    *,
+    config: Optional[EmulationConfig] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> ComparisonRow:
     """Emulate both deployments and return the max-load comparison."""
-    edge = emulate_edge(generator, sessions, deployment.modules, cost_model)
-    coordinated = emulate_coordinated(deployment, generator, sessions, cost_model)
+    config = _resolve_config(config, registry, cost_model=cost_model)
+    edge = emulate_edge(generator, sessions, deployment.modules, config=config)
+    coordinated = emulate_coordinated(deployment, generator, sessions, config=config)
     return ComparisonRow(
         x=x,
         edge_cpu=edge.max_cpu,

@@ -25,11 +25,14 @@ functional equivalence between deployments.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+import time
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.dispatch import CoordinatedDispatcher
 from ..core.units import unit_key_for_session
+from ..obs import MetricsRegistry, NULL_REGISTRY
 from ..traffic.session import Session
 from .modules.base import Alert, CheckLocation, Detector, ModuleSpec, Subscription
 from .modules import make_detector
@@ -42,6 +45,75 @@ class BroMode(enum.Enum):
     UNMODIFIED = "unmodified"
     COORD_POLICY = "coord-policy"
     COORD_EVENT = "coord-event"
+
+
+@dataclass(frozen=True)
+class EmulationConfig:
+    """Run configuration for emulation entry points and instances.
+
+    Collapses the keyword sprawl that accreted on
+    :func:`~repro.nids.emulation.emulate_coordinated` and
+    :class:`BroInstance` into one value that can be built once and
+    shared across a whole experiment sweep.  ``mode`` selects the
+    instance variant for the coordinated entry points (it is ignored by
+    :class:`BroInstance`, whose explicit ``mode`` argument is
+    authoritative).  ``registry`` receives runtime telemetry; the
+    default :data:`~repro.obs.NULL_REGISTRY` makes every recording a
+    no-op.
+    """
+
+    mode: BroMode = BroMode.COORD_EVENT
+    cost_model: CostModel = DEFAULT_COST_MODEL
+    run_detectors: bool = False
+    fine_grained: bool = False
+    batch_dispatch: bool = True
+    registry: MetricsRegistry = NULL_REGISTRY
+
+
+class _Unset:
+    """Sentinel distinguishing 'not passed' from any real value."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr only
+        return "<unset>"
+
+
+_UNSET = _Unset()
+
+
+def _resolve_config(
+    config: Optional[EmulationConfig],
+    registry: Optional[MetricsRegistry],
+    **legacy: object,
+) -> EmulationConfig:
+    """Fold deprecated per-call keywords into an :class:`EmulationConfig`.
+
+    Legacy keywords still work (so pre-config callers keep their exact
+    behaviour) but raise a :class:`DeprecationWarning`; mixing them
+    with ``config=`` is an error because the precedence would be
+    ambiguous.  An explicit ``registry=`` always wins over
+    ``config.registry`` — it is the blessed way to opt into telemetry.
+    """
+    supplied = {k: v for k, v in legacy.items() if v is not _UNSET}
+    if supplied:
+        if config is not None:
+            raise TypeError(
+                "pass either config=EmulationConfig(...) or the deprecated"
+                f" keyword arguments {sorted(supplied)}, not both"
+            )
+        warnings.warn(
+            f"passing {'/'.join(sorted(supplied))} directly is deprecated;"
+            " use config=EmulationConfig(...)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        config = EmulationConfig(**supplied)  # type: ignore[arg-type]
+    elif config is None:
+        config = EmulationConfig()
+    if registry is not None:
+        config = replace(config, registry=registry)
+    return config
 
 
 class TrackingLevel(enum.Enum):
@@ -91,28 +163,41 @@ class BroInstance:
         modules: Sequence[ModuleSpec],
         mode: BroMode,
         dispatcher: Optional[CoordinatedDispatcher] = None,
-        cost_model: CostModel = DEFAULT_COST_MODEL,
-        run_detectors: bool = False,
-        fine_grained: bool = False,
-        batch_dispatch: bool = True,
+        cost_model: object = _UNSET,
+        run_detectors: object = _UNSET,
+        fine_grained: object = _UNSET,
+        batch_dispatch: object = _UNSET,
+        *,
+        config: Optional[EmulationConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         if mode is not BroMode.UNMODIFIED and dispatcher is None:
             raise ValueError("coordinated modes require a dispatcher")
+        config = _resolve_config(
+            config,
+            registry,
+            cost_model=cost_model,
+            run_detectors=run_detectors,
+            fine_grained=fine_grained,
+            batch_dispatch=batch_dispatch,
+        )
         self.node = node
         self.modules = list(modules)
         self.mode = mode
         self.dispatcher = dispatcher
-        self.cost = cost_model
+        self.config = config
+        self.registry = config.registry
+        self.cost = config.cost_model
         #: Vectorized Fig. 3 fast path: precompute the whole trace's
         #: sampling decisions with CoordinatedDispatcher.sampled_modules_batch
         #: (bit-identical to the scalar per-session checks).
-        self.batch_dispatch = batch_dispatch
+        self.batch_dispatch = config.batch_dispatch
         #: §2.5 extension: honour FIRST_PACKET subscriptions with
         #: lightweight records instead of full connection tracking.
-        self.fine_grained = fine_grained
+        self.fine_grained = config.fine_grained
         self.detectors: Dict[str, Detector] = (
             {spec.name: make_detector(spec) for spec in self.modules}
-            if run_detectors
+            if config.run_detectors
             else {}
         )
 
@@ -184,8 +269,17 @@ class BroInstance:
         usage = ResourceUsage(mem_bytes=float(cost.process_base_bytes))
         module_cpu: Dict[str, float] = {spec.name: 0.0 for spec in self.modules}
         module_items: Dict[str, Set[int]] = {spec.name: set() for spec in self.modules}
+        module_sessions: Dict[str, int] = {spec.name: 0 for spec in self.modules}
         tracked_connections = 0
         light_connections = 0
+        started = time.perf_counter()
+        cache_before = (0, 0, 0)
+        if self.dispatcher is not None:
+            cache_before = (
+                self.dispatcher.cache_hits,
+                self.dispatcher.cache_misses,
+                self.dispatcher.batch_hashes,
+            )
 
         batch_sampled = None
         if coordinated and self.batch_dispatch and len(sessions) > 1:
@@ -231,6 +325,7 @@ class BroInstance:
                 usage.cpu += work
                 module_cpu[spec.name] += work
                 module_items[spec.name].add(spec.item_key(session))
+                module_sessions[spec.name] += 1
                 detector = self.detectors.get(spec.name)
                 if detector is not None:
                     detector.on_session(session)
@@ -245,6 +340,15 @@ class BroInstance:
         for detector in self.detectors.values():
             alerts.extend(detector.alerts)
 
+        self._record_trace(
+            sessions,
+            started,
+            tracked_connections,
+            light_connections,
+            module_sessions,
+            cache_before,
+        )
+
         return InstanceReport(
             node=self.node,
             mode=self.mode,
@@ -255,6 +359,80 @@ class BroInstance:
             alerts=alerts,
             light_connections=light_connections,
         )
+
+    # -- telemetry ------------------------------------------------------------
+    def _record_trace(
+        self,
+        sessions: Sequence[Session],
+        started: float,
+        tracked: int,
+        light: int,
+        module_sessions: Dict[str, int],
+        cache_before: Tuple[int, int, int],
+    ) -> None:
+        """Record one trace run into the configured registry.
+
+        Runs once per trace (never per session) so the instrumented
+        engine stays within the telemetry overhead budget; under the
+        default null registry the whole block is skipped.
+        """
+        registry = self.registry
+        if not registry.enabled:
+            return
+        elapsed = time.perf_counter() - started
+        node = self.node
+        n = len(sessions)
+        registry.counter(
+            "dispatch_sessions_total",
+            "sessions processed per node trace",
+            labels=("node",),
+        ).inc(n, node=node)
+        registry.counter(
+            "sessions_tracked_total",
+            "sessions forcing a full connection record",
+            labels=("node",),
+        ).inc(tracked, node=node)
+        registry.counter(
+            "sessions_light_total",
+            "sessions held as first-packet-only light records (Section 2.5)",
+            labels=("node",),
+        ).inc(light, node=node)
+        registry.histogram(
+            "engine_trace_seconds",
+            "wall-clock seconds per node trace run",
+            labels=("node",),
+        ).observe(elapsed, node=node)
+        if elapsed > 0.0:
+            registry.gauge(
+                "engine_sessions_per_second",
+                "throughput of the most recent trace run",
+                labels=("node",),
+            ).set(n / elapsed, node=node)
+        analyzed = registry.counter(
+            "module_sessions_analyzed_total",
+            "sessions each module analyzed at each node (Fig. 3 outcomes)",
+            labels=("node", "module"),
+        )
+        for name, count in module_sessions.items():
+            if count:
+                analyzed.inc(count, node=node, module=name)
+        if self.dispatcher is not None:
+            hits0, misses0, batch0 = cache_before
+            registry.counter(
+                "hash_cache_hits_total",
+                "scalar-path hash-cache hits",
+                labels=("node",),
+            ).inc(self.dispatcher.cache_hits - hits0, node=node)
+            registry.counter(
+                "hash_cache_misses_total",
+                "scalar-path hash-cache misses",
+                labels=("node",),
+            ).inc(self.dispatcher.cache_misses - misses0, node=node)
+            registry.counter(
+                "hash_batch_computed_total",
+                "hash values computed by the vectorized batch sweep",
+                labels=("node",),
+            ).inc(self.dispatcher.batch_hashes - batch0, node=node)
 
     # -- coordination-check accounting ----------------------------------------
     def _check_costs(self, session: Session, tracked: bool) -> float:

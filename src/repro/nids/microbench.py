@@ -20,7 +20,7 @@ from ..topology.routing import PathSet
 from ..traffic.generator import GeneratorConfig, TrafficGenerator
 from ..traffic.profiles import mixed_profile
 from ..traffic.session import Session
-from .engine import BroInstance, BroMode
+from .engine import BroInstance, BroMode, EmulationConfig
 from .modules.base import ModuleSpec
 from .modules.catalog import STANDARD_MODULES
 from .resources import CostModel, DEFAULT_COST_MODEL
@@ -98,7 +98,7 @@ def _run_configuration(
         modules=modules,
         mode=mode,
         dispatcher=dispatcher,
-        cost_model=cost_model,
+        config=EmulationConfig(cost_model=cost_model),
     )
     report = instance.process_sessions(sessions)
     return report.cpu, report.mem_bytes

@@ -1,0 +1,235 @@
+"""Snapshot and wire formats for a :class:`~repro.obs.MetricsRegistry`.
+
+Three formats, chosen for the three consumers a sensor-fleet
+deployment actually has:
+
+* **JSON snapshot** — the unified artifact ``repro control run
+  --metrics-out`` writes; nested, self-describing, diffable;
+* **CSV** — one row per (metric, series, field) so the snapshot can
+  ride the same tooling as the figure artifacts in
+  :mod:`repro.reporting`;
+* **Prometheus text exposition** — scrape-ready; cumulative ``le``
+  buckets, ``_sum``/``_count`` series, HELP/TYPE comments.
+  :func:`parse_prometheus` reads the format back (samples only) so the
+  round trip is testable without a Prometheus server.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from typing import Dict, List, Mapping, TextIO, Tuple
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def _format_value(value: float) -> str:
+    """Shortest exact decimal form (Prometheus-compatible)."""
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+# -- JSON snapshot --------------------------------------------------------
+def snapshot(registry: MetricsRegistry) -> dict:
+    """JSON-compatible dict of every metric's current state."""
+    metrics: Dict[str, dict] = {}
+    for metric in registry.metrics():
+        entry: dict = {
+            "type": metric.kind,
+            "help": metric.help,
+            "labels": list(metric.label_names),
+        }
+        if isinstance(metric, Histogram):
+            entry["buckets"] = list(metric.buckets)
+            entry["series"] = [
+                {
+                    "labels": labels,
+                    "count": series.count,
+                    "sum": series.sum,
+                    "bucket_counts": list(series.bucket_counts),
+                }
+                for labels, series in metric.series()
+            ]
+        else:
+            entry["series"] = [
+                {"labels": labels, "value": value}
+                for labels, value in metric.series()
+            ]
+        metrics[metric.name] = entry
+    return {"version": 1, "metrics": metrics}
+
+
+def write_json(registry: MetricsRegistry, stream: TextIO, indent: int = 2) -> None:
+    """Write the JSON snapshot to *stream*."""
+    json.dump(snapshot(registry), stream, indent=indent, sort_keys=True)
+    stream.write("\n")
+
+
+# -- CSV ------------------------------------------------------------------
+#: Column names of the flat CSV form (one row per metric/series/field).
+CSV_HEADER = ("metric", "type", "labels", "field", "value")
+
+
+def _labels_cell(labels: Mapping[str, str]) -> str:
+    return ";".join(f"{k}={v}" for k, v in labels.items())
+
+
+def csv_rows(registry: MetricsRegistry):
+    """Yield the flat CSV rows (see :data:`CSV_HEADER`) for *registry*.
+
+    Histogram series expand to ``count``, ``sum``, and cumulative
+    ``bucket_le_X`` field rows, matching the Prometheus ``le``
+    semantics.
+    """
+    for metric in registry.metrics():
+        if isinstance(metric, Histogram):
+            for labels, series in metric.series():
+                cell = _labels_cell(labels)
+                yield (metric.name, metric.kind, cell, "count", series.count)
+                yield (metric.name, metric.kind, cell, "sum", series.sum)
+                running = 0
+                for bound, count in zip(
+                    list(metric.buckets) + [math.inf], series.bucket_counts
+                ):
+                    running += count
+                    yield (
+                        metric.name,
+                        metric.kind,
+                        cell,
+                        f"bucket_le_{_format_value(bound)}",
+                        running,
+                    )
+        else:
+            for labels, value in metric.series():
+                yield (metric.name, metric.kind, _labels_cell(labels), "value", value)
+
+
+def write_csv(registry: MetricsRegistry, stream: TextIO) -> None:
+    """One row per (metric, series, field): flat, join-friendly."""
+    writer = csv.writer(stream)
+    writer.writerow(CSV_HEADER)
+    for row in csv_rows(registry):
+        writer.writerow(row)
+
+
+# -- Prometheus text exposition -------------------------------------------
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _sample(name: str, labels: Mapping[str, str], value: float) -> str:
+    if labels:
+        body = ",".join(
+            f'{k}="{_escape_label(str(v))}"' for k, v in sorted(labels.items())
+        )
+        return f"{name}{{{body}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for metric in registry.metrics():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            for labels, value in metric.series():
+                lines.append(_sample(metric.name, labels, value))
+        elif isinstance(metric, Histogram):
+            for labels, series in metric.series():
+                running = 0
+                for bound, count in zip(
+                    list(metric.buckets) + [math.inf], series.bucket_counts
+                ):
+                    running += count
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _format_value(bound)
+                    lines.append(
+                        _sample(f"{metric.name}_bucket", bucket_labels, running)
+                    )
+                lines.append(_sample(f"{metric.name}_sum", labels, series.sum))
+                lines.append(_sample(f"{metric.name}_count", labels, series.count))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(registry: MetricsRegistry, stream: TextIO) -> None:
+    """Write the Prometheus text exposition to *stream*."""
+    stream.write(to_prometheus(registry))
+
+
+Sample = Tuple[Tuple[Tuple[str, str], ...], float]
+
+
+def parse_prometheus(text: str) -> Dict[str, List[Sample]]:
+    """Parse exposition-format samples back into ``{name: [(labels, value)]}``.
+
+    Minimal on purpose: sample lines and comments only — enough to
+    verify that :func:`to_prometheus` is lossless for counters, gauges,
+    and histogram bucket/sum/count series.
+    """
+    samples: Dict[str, List[Sample]] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            body, tail = rest.rsplit("}", 1)
+            labels: List[Tuple[str, str]] = []
+            for item in _split_labels(body):
+                key, value = item.split("=", 1)
+                labels.append((key, _unescape_label(value.strip('"'))))
+            value_text = tail.strip()
+        else:
+            name, value_text = line.split(None, 1)
+            labels = []
+        if value_text == "+Inf":
+            value = math.inf
+        elif value_text == "-Inf":
+            value = -math.inf
+        else:
+            value = float(value_text)
+        samples.setdefault(name, []).append((tuple(sorted(labels)), value))
+    return samples
+
+
+def _split_labels(body: str) -> List[str]:
+    """Split ``a="x",b="y"`` on commas outside quotes."""
+    items: List[str] = []
+    current: List[str] = []
+    in_quotes = False
+    escaped = False
+    for char in body:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\":
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+        if char == "," and not in_quotes:
+            items.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        items.append("".join(current))
+    return [item.strip() for item in items if item.strip()]
+
+
+def _unescape_label(value: str) -> str:
+    return (
+        value.replace(r"\n", "\n").replace(r"\"", '"').replace(r"\\", "\\")
+    )

@@ -1,17 +1,23 @@
-"""CSV artifact writers for the reproduced figures.
+"""Report artifacts for the reproduced figures.
 
-Each writer takes the corresponding experiment driver's output and
-emits a CSV with one row per plotted point, so downstream users can
-regenerate the paper's plots with any tool.  Used by the ``repro
-figures`` CLI command; the writers are plain functions over the result
-dataclasses, so they are equally usable from notebooks.
+Every figure artifact is a :class:`Report`: a named table with a
+``header()`` and ``rows()``, written through one
+``write(stream, fmt=...)`` interface (CSV for plotting pipelines, JSON
+for programmatic consumers).  Telemetry snapshots ride the same
+interface via :class:`MetricsSnapshotReport`, which adds the
+Prometheus text format.
+
+The original ``*_csv`` functions remain as thin wrappers over the
+report classes, so existing callers (and the ``repro figures`` CLI)
+are unaffected.
 """
 
 from __future__ import annotations
 
 import csv
 import io
-from typing import Iterable, List, Sequence, TextIO
+import json
+from typing import Iterable, Sequence, TextIO, Tuple
 
 from .control.epochs import EpochRecord
 from .experiments.nids_network_wide import PerNodeProfile
@@ -19,20 +25,95 @@ from .experiments.nips_rounding import RoundingStats
 from .experiments.online_adaptation import OnlineEvaluation
 from .nids.emulation import ComparisonRow
 from .nids.microbench import MicrobenchRow
+from .obs import (
+    CSV_HEADER as _METRICS_CSV_HEADER,
+    MetricsRegistry,
+    csv_rows as _metrics_csv_rows,
+    snapshot as _metrics_snapshot,
+    write_prometheus as _write_prometheus,
+)
 
 
-def _write(rows: Iterable[Sequence], header: Sequence[str], stream: TextIO) -> None:
-    writer = csv.writer(stream)
-    writer.writerow(header)
-    for row in rows:
-        writer.writerow(row)
+class Report:
+    """A named table that can be written in multiple formats.
+
+    Subclasses provide :meth:`header` and :meth:`rows`; ``write``
+    renders them as CSV (one row per plotted point — the historical
+    artifact format) or JSON (``{"name", "header", "rows"}``).
+    """
+
+    #: Artifact identifier, used as the JSON envelope name.
+    name = "report"
+
+    def header(self) -> Sequence[str]:
+        """Column names, in order."""
+        raise NotImplementedError
+
+    def rows(self) -> Iterable[Sequence]:
+        """Data rows matching :meth:`header`."""
+        raise NotImplementedError
+
+    def formats(self) -> Tuple[str, ...]:
+        """Formats :meth:`write` accepts, first is the default."""
+        return ("csv", "json")
+
+    def write(self, stream: TextIO, fmt: str = "csv") -> None:
+        """Render the report to *stream* in *fmt*."""
+        if fmt == "csv":
+            writer = csv.writer(stream)
+            writer.writerow(self.header())
+            for row in self.rows():
+                writer.writerow(row)
+        elif fmt == "json":
+            json.dump(
+                {
+                    "name": self.name,
+                    "header": list(self.header()),
+                    "rows": [list(row) for row in self.rows()],
+                },
+                stream,
+                indent=2,
+            )
+            stream.write("\n")
+        else:
+            raise ValueError(
+                f"unsupported format {fmt!r} for {self.name};"
+                f" expected one of {self.formats()}"
+            )
+
+    def to_string(self, fmt: str = None) -> str:
+        """Render to a string (convenience for tests and notebooks).
+
+        Defaults to the report's preferred format, ``formats()[0]``.
+        """
+        stream = io.StringIO()
+        self.write(stream, fmt=fmt if fmt is not None else self.formats()[0])
+        return stream.getvalue()
 
 
-def comparison_csv(rows: Sequence[ComparisonRow], x_label: str, stream: TextIO) -> None:
+class ComparisonReport(Report):
     """Figs. 6/7 series: x, max loads, and reductions per deployment."""
-    _write(
-        (
-            (
+
+    name = "comparison"
+
+    def __init__(self, rows: Sequence[ComparisonRow], x_label: str):
+        self._rows = list(rows)
+        self.x_label = x_label
+
+    def header(self) -> Sequence[str]:
+        return (
+            self.x_label,
+            "edge_max_cpu",
+            "coord_max_cpu",
+            "cpu_reduction",
+            "edge_max_mem_mb",
+            "coord_max_mem_mb",
+            "mem_reduction",
+        )
+
+    def rows(self) -> Iterable[Sequence]:
+        for row in self._rows:
+            yield (
                 row.x,
                 row.edge_cpu,
                 row.coord_cpu,
@@ -41,53 +122,43 @@ def comparison_csv(rows: Sequence[ComparisonRow], x_label: str, stream: TextIO) 
                 row.coord_mem_mb,
                 row.mem_reduction,
             )
-            for row in rows
-        ),
-        (
-            x_label,
-            "edge_max_cpu",
-            "coord_max_cpu",
-            "cpu_reduction",
-            "edge_max_mem_mb",
-            "coord_max_mem_mb",
-            "mem_reduction",
-        ),
-        stream,
-    )
 
 
-def per_node_csv(profile: PerNodeProfile, stream: TextIO) -> None:
+class PerNodeReport(Report):
     """Fig. 8: per-node loads under both deployments."""
-    _write(
-        (
-            (index, node, edge_cpu, coord_cpu, edge_mb, coord_mb)
-            for index, (node, edge_cpu, coord_cpu, edge_mb, coord_mb) in enumerate(
-                profile.rows(), start=1
-            )
-        ),
-        ("node_index", "node", "edge_cpu", "coord_cpu", "edge_mem_mb", "coord_mem_mb"),
-        stream,
-    )
 
+    name = "per_node"
 
-def microbench_csv(rows: Sequence[MicrobenchRow], stream: TextIO) -> None:
-    """Fig. 5: per-module coordination overheads (mean/min/max)."""
-    def expand(row: MicrobenchRow):
+    def __init__(self, profile: PerNodeProfile):
+        self.profile = profile
+
+    def header(self) -> Sequence[str]:
         return (
-            row.module,
-            row.cpu_policy.mean,
-            row.cpu_policy.minimum,
-            row.cpu_policy.maximum,
-            row.cpu_event.mean,
-            row.cpu_event.minimum,
-            row.cpu_event.maximum,
-            row.mem_policy.mean,
-            row.mem_event.mean,
+            "node_index",
+            "node",
+            "edge_cpu",
+            "coord_cpu",
+            "edge_mem_mb",
+            "coord_mem_mb",
         )
 
-    _write(
-        (expand(row) for row in rows),
-        (
+    def rows(self) -> Iterable[Sequence]:
+        for index, (node, edge_cpu, coord_cpu, edge_mb, coord_mb) in enumerate(
+            self.profile.rows(), start=1
+        ):
+            yield (index, node, edge_cpu, coord_cpu, edge_mb, coord_mb)
+
+
+class MicrobenchReport(Report):
+    """Fig. 5: per-module coordination overheads (mean/min/max)."""
+
+    name = "microbench"
+
+    def __init__(self, rows: Sequence[MicrobenchRow]):
+        self._rows = list(rows)
+
+    def header(self) -> Sequence[str]:
+        return (
             "module",
             "cpu_policy_mean",
             "cpu_policy_min",
@@ -97,16 +168,37 @@ def microbench_csv(rows: Sequence[MicrobenchRow], stream: TextIO) -> None:
             "cpu_event_max",
             "mem_policy_mean",
             "mem_event_mean",
-        ),
-        stream,
-    )
+        )
+
+    def rows(self) -> Iterable[Sequence]:
+        for row in self._rows:
+            yield (
+                row.module,
+                row.cpu_policy.mean,
+                row.cpu_policy.minimum,
+                row.cpu_policy.maximum,
+                row.cpu_event.mean,
+                row.cpu_event.minimum,
+                row.cpu_event.maximum,
+                row.mem_policy.mean,
+                row.mem_event.mean,
+            )
 
 
-def rounding_csv(stats: Sequence[RoundingStats], stream: TextIO) -> None:
+class RoundingReport(Report):
     """Fig. 10: fraction-of-OptLP per topology/capacity/variant."""
-    _write(
-        (
-            (
+
+    name = "rounding"
+
+    def __init__(self, stats: Sequence[RoundingStats]):
+        self._stats = list(stats)
+
+    def header(self) -> Sequence[str]:
+        return ("topology", "capacity_fraction", "variant", "mean", "min", "max")
+
+    def rows(self) -> Iterable[Sequence]:
+        for s in self._stats:
+            yield (
                 s.topology,
                 s.capacity_fraction,
                 s.variant.value,
@@ -114,27 +206,59 @@ def rounding_csv(stats: Sequence[RoundingStats], stream: TextIO) -> None:
                 s.minimum,
                 s.maximum,
             )
-            for s in stats
-        ),
-        ("topology", "capacity_fraction", "variant", "mean", "min", "max"),
-        stream,
-    )
 
 
-def regret_csv(evaluation: OnlineEvaluation, stream: TextIO) -> None:
+class RegretReport(Report):
     """Fig. 11: normalized regret per epoch per run."""
-    rows: List[Sequence] = []
-    for run_index, run in enumerate(evaluation.runs, start=1):
-        for point in run.points:
-            rows.append((run_index, point.epoch, point.normalized_regret))
-    _write(rows, ("run", "epoch", "normalized_regret"), stream)
+
+    name = "regret"
+
+    def __init__(self, evaluation: OnlineEvaluation):
+        self.evaluation = evaluation
+
+    def header(self) -> Sequence[str]:
+        return ("run", "epoch", "normalized_regret")
+
+    def rows(self) -> Iterable[Sequence]:
+        for run_index, run in enumerate(self.evaluation.runs, start=1):
+            for point in run.points:
+                yield (run_index, point.epoch, point.normalized_regret)
 
 
-def control_epochs_csv(records: Sequence[EpochRecord], stream: TextIO) -> None:
+class ControlEpochsReport(Report):
     """Coordination-plane run: one row per epoch (``repro control run``)."""
-    _write(
-        (
-            (
+
+    name = "control_epochs"
+
+    def __init__(self, records: Sequence[EpochRecord]):
+        self._records = list(records)
+
+    def header(self) -> Sequence[str]:
+        return (
+            "epoch",
+            "sessions",
+            "failed_nodes",
+            "resolved",
+            "config_version",
+            "pushes_full",
+            "pushes_delta",
+            "push_bytes",
+            "full_equivalent_bytes",
+            "unchanged_entry_fraction",
+            "messages_sent",
+            "bytes_sent",
+            "coverage",
+            "min_unit_coverage",
+            "orphaned_fraction",
+            "duplicated_fraction",
+            "reconfig_lag",
+            "converged",
+            "in_transition",
+        )
+
+    def rows(self) -> Iterable[Sequence]:
+        for r in self._records:
+            yield (
                 r.epoch,
                 r.sessions,
                 ";".join(r.failed_nodes),
@@ -155,31 +279,70 @@ def control_epochs_csv(records: Sequence[EpochRecord], stream: TextIO) -> None:
                 int(r.converged),
                 int(r.in_transition),
             )
-            for r in records
-        ),
-        (
-            "epoch",
-            "sessions",
-            "failed_nodes",
-            "resolved",
-            "config_version",
-            "pushes_full",
-            "pushes_delta",
-            "push_bytes",
-            "full_equivalent_bytes",
-            "unchanged_entry_fraction",
-            "messages_sent",
-            "bytes_sent",
-            "coverage",
-            "min_unit_coverage",
-            "orphaned_fraction",
-            "duplicated_fraction",
-            "reconfig_lag",
-            "converged",
-            "in_transition",
-        ),
-        stream,
-    )
+
+
+class MetricsSnapshotReport(Report):
+    """A telemetry registry snapshot on the shared report interface.
+
+    ``csv`` emits the flat one-row-per-field table from
+    :mod:`repro.obs.export`; ``json`` the nested self-describing
+    snapshot (the ``--metrics-out`` artifact); ``prom`` the Prometheus
+    text exposition.
+    """
+
+    name = "metrics"
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+
+    def header(self) -> Sequence[str]:
+        return _METRICS_CSV_HEADER
+
+    def rows(self) -> Iterable[Sequence]:
+        return _metrics_csv_rows(self.registry)
+
+    def formats(self) -> Tuple[str, ...]:
+        return ("json", "csv", "prom")
+
+    def write(self, stream: TextIO, fmt: str = "json") -> None:
+        if fmt == "json":
+            json.dump(_metrics_snapshot(self.registry), stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        elif fmt == "prom":
+            _write_prometheus(self.registry, stream)
+        else:
+            super().write(stream, fmt=fmt)
+
+
+# -- legacy function interface (thin wrappers) ----------------------------
+def comparison_csv(rows: Sequence[ComparisonRow], x_label: str, stream: TextIO) -> None:
+    """Figs. 6/7 series: x, max loads, and reductions per deployment."""
+    ComparisonReport(rows, x_label).write(stream, fmt="csv")
+
+
+def per_node_csv(profile: PerNodeProfile, stream: TextIO) -> None:
+    """Fig. 8: per-node loads under both deployments."""
+    PerNodeReport(profile).write(stream, fmt="csv")
+
+
+def microbench_csv(rows: Sequence[MicrobenchRow], stream: TextIO) -> None:
+    """Fig. 5: per-module coordination overheads (mean/min/max)."""
+    MicrobenchReport(rows).write(stream, fmt="csv")
+
+
+def rounding_csv(stats: Sequence[RoundingStats], stream: TextIO) -> None:
+    """Fig. 10: fraction-of-OptLP per topology/capacity/variant."""
+    RoundingReport(stats).write(stream, fmt="csv")
+
+
+def regret_csv(evaluation: OnlineEvaluation, stream: TextIO) -> None:
+    """Fig. 11: normalized regret per epoch per run."""
+    RegretReport(evaluation).write(stream, fmt="csv")
+
+
+def control_epochs_csv(records: Sequence[EpochRecord], stream: TextIO) -> None:
+    """Coordination-plane run: one row per epoch (``repro control run``)."""
+    ControlEpochsReport(records).write(stream, fmt="csv")
 
 
 def to_string(writer, *args) -> str:

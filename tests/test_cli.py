@@ -172,3 +172,66 @@ class TestControlRun:
         out = capsys.readouterr().out
         assert code == 0, out
         assert "bootstrap" in out
+
+    def test_metrics_out_writes_snapshot(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            [
+                "control",
+                "run",
+                "--epochs",
+                "10",
+                "--sessions",
+                "300",
+                "--shift-epoch",
+                "3",
+                "--fail-epoch",
+                "5",
+                "--recover-epoch",
+                "8",
+                "--metrics-out",
+                str(metrics),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "wrote telemetry snapshot (json)" in out
+        snap = json.loads(metrics.read_text())
+        assert snap["version"] == 1
+        families = snap["metrics"]
+        # The acceptance quartet: solver timing, per-node dispatch,
+        # convergence latency, and push-retry health.
+        for name in (
+            "lp_solve_seconds",
+            "agent_dispatch_sessions_total",
+            "epoch_convergence_seconds",
+            "controller_push_retries_total",
+        ):
+            assert name in families, name
+        nodes = {
+            s["labels"]["node"]
+            for s in families["agent_dispatch_sessions_total"]["series"]
+        }
+        assert len(nodes) == 11  # every Internet2 agent reported
+
+    def test_metrics_out_prom_extension(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "control",
+                "run",
+                "--no-events",
+                "--epochs",
+                "6",
+                "--sessions",
+                "300",
+                "--metrics-out",
+                str(metrics),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "wrote telemetry snapshot (prom)" in out
+        text = metrics.read_text()
+        assert "# TYPE lp_solve_seconds histogram" in text
+        assert "bus_messages_total" in text

@@ -1,0 +1,321 @@
+"""Unit tests for the repro.obs telemetry subsystem."""
+
+import io
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    COUNT_BUCKETS,
+    CSV_HEADER,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    csv_rows,
+    get_registry,
+    parse_prometheus,
+    set_registry,
+    snapshot,
+    to_prometheus,
+    use_registry,
+    write_csv,
+    write_json,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total", "requests")
+        assert counter.value() == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+        assert counter.total() == 3.5
+
+    def test_labelled_series_are_independent(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("sessions_total", labels=("node",))
+        counter.inc(3, node="NYCM")
+        counter.inc(4, node="CHIN")
+        assert counter.value(node="NYCM") == 3
+        assert counter.value(node="CHIN") == 4
+        assert counter.total() == 7
+        assert {labels["node"] for labels, _ in counter.series()} == {"NYCM", "CHIN"}
+
+    def test_cannot_decrease(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_wrong_labels_rejected(self):
+        counter = MetricsRegistry().counter("c_total", labels=("node",))
+        with pytest.raises(ValueError):
+            counter.inc(1)
+        with pytest.raises(ValueError):
+            counter.inc(1, node="a", extra="b")
+
+    def test_create_or_get_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total", "help", labels=("k",))
+        second = registry.counter("x_total", labels=("k",))
+        assert first is second
+
+    def test_conflicting_redeclaration_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labels=("k",))
+        with pytest.raises(ValueError):
+            registry.counter("x_total", labels=("other",))
+        with pytest.raises(ValueError):
+            registry.gauge("x_total", labels=("k",))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        for bad in ("", "1abc", "has space", "has-dash"):
+            with pytest.raises(ValueError):
+                registry.counter(bad)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value() == 12.0
+
+    def test_gauge_may_go_negative(self):
+        gauge = MetricsRegistry().gauge("delta")
+        gauge.dec(2)
+        assert gauge.value() == -2.0
+
+
+class TestHistogram:
+    def test_bucket_assignment_and_exact_sum(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.1, 0.5, 5.0, 100.0):
+            hist.observe(value)
+        # le-0.1 gets 0.05 and the boundary value 0.1 (le semantics).
+        assert hist.bucket_counts() == [2, 1, 1, 1]
+        assert hist.count() == 5
+        assert hist.sum() == pytest.approx(105.65)
+        assert hist.mean() == pytest.approx(105.65 / 5)
+
+    def test_cumulative_buckets_end_with_inf_total(self):
+        hist = MetricsRegistry().histogram("lat", buckets=(1.0, 2.0))
+        hist.observe(0.5)
+        hist.observe(1.5)
+        hist.observe(99.0)
+        cumulative = hist.cumulative_buckets()
+        assert cumulative == [(1.0, 1), (2.0, 2), (math.inf, 3)]
+
+    def test_empty_series_reads_zero(self):
+        hist = MetricsRegistry().histogram("lat", buckets=(1.0,))
+        assert hist.count() == 0
+        assert hist.sum() == 0.0
+        assert hist.mean() == 0.0
+        assert hist.bucket_counts() == [0, 0]
+
+    def test_buckets_must_be_increasing_and_finite(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=(1.0, math.inf))
+
+    def test_count_buckets_cover_discrete_sizes(self):
+        hist = MetricsRegistry().histogram("entries", buckets=COUNT_BUCKETS)
+        hist.observe(7)
+        hist.observe(70_000)
+        assert hist.count() == 2
+
+
+class TestTimerAndSpan:
+    def test_timer_records_into_histogram(self):
+        registry = MetricsRegistry()
+        with registry.timer("phase_seconds", "phase", kind="solve") as span:
+            pass
+        assert span.elapsed is not None and span.elapsed >= 0.0
+        hist = registry.get("phase_seconds")
+        assert hist.count(kind="solve") == 1
+        assert hist.sum(kind="solve") == pytest.approx(span.elapsed)
+
+    def test_timer_records_on_exception(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with registry.timer("phase_seconds"):
+                raise RuntimeError("boom")
+        assert registry.get("phase_seconds").count() == 1
+
+    def test_span_adds_completion_counter(self):
+        registry = MetricsRegistry()
+        with registry.span("resolve", "resolve pass"):
+            pass
+        assert registry.get("resolve_seconds").count() == 1
+        assert registry.get("resolve_total").value() == 1
+
+
+class TestNullRegistry:
+    def test_disabled_and_stateless(self):
+        null = NullRegistry()
+        assert not null.enabled
+        assert NULL_REGISTRY.enabled is False
+        counter = null.counter("anything")
+        counter.inc(10)
+        assert counter.value() == 0.0
+        null.gauge("g").set(5)
+        null.histogram("h").observe(1.0)
+        assert null.metrics() == []
+
+    def test_timer_still_yields_a_span(self):
+        with NULL_REGISTRY.timer("phase_seconds") as span:
+            pass
+        assert span.elapsed is not None
+
+
+class TestAmbientRegistry:
+    def test_defaults_to_null(self):
+        assert get_registry() is NULL_REGISTRY
+
+    def test_use_registry_installs_and_restores(self):
+        registry = MetricsRegistry()
+        with use_registry(registry) as active:
+            assert active is registry
+            assert get_registry() is registry
+        assert get_registry() is NULL_REGISTRY
+
+    def test_set_registry_none_restores_null(self):
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            assert get_registry() is registry
+        finally:
+            set_registry(None)
+        assert previous is NULL_REGISTRY
+        assert get_registry() is NULL_REGISTRY
+
+    def test_nested_scopes_restore_in_order(self):
+        outer, inner = MetricsRegistry(), MetricsRegistry()
+        with use_registry(outer):
+            with use_registry(inner):
+                assert get_registry() is inner
+            assert get_registry() is outer
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    counter = registry.counter("pushes_total", "pushes", labels=("mode",))
+    counter.inc(3, mode="delta")
+    counter.inc(1, mode="full")
+    registry.gauge("config_version", "current epoch version").set(7)
+    hist = registry.histogram("solve_seconds", "LP time", buckets=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(2.0)
+    return registry
+
+
+class TestExporters:
+    def test_json_snapshot_shape(self):
+        snap = snapshot(_populated_registry())
+        assert snap["version"] == 1
+        metrics = snap["metrics"]
+        assert metrics["pushes_total"]["type"] == "counter"
+        assert {s["labels"]["mode"]: s["value"] for s in metrics["pushes_total"]["series"]} == {
+            "delta": 3,
+            "full": 1,
+        }
+        hist = metrics["solve_seconds"]
+        assert hist["buckets"] == [0.1, 1.0]
+        (series,) = hist["series"]
+        assert series["count"] == 3
+        assert series["bucket_counts"] == [1, 1, 1]
+
+    def test_write_json_round_trips(self):
+        registry = _populated_registry()
+        stream = io.StringIO()
+        write_json(registry, stream)
+        assert json.loads(stream.getvalue()) == snapshot(registry)
+
+    def test_csv_header_and_rows(self):
+        registry = _populated_registry()
+        stream = io.StringIO()
+        write_csv(registry, stream)
+        lines = stream.getvalue().strip().splitlines()
+        assert lines[0] == ",".join(CSV_HEADER)
+        rows = list(csv_rows(registry))
+        assert len(lines) == len(rows) + 1
+        # Histogram buckets are cumulative in the flat form.
+        bucket_rows = [r for r in rows if str(r[3]).startswith("bucket_le_")]
+        assert [r[4] for r in bucket_rows] == [1, 2, 3]
+        assert bucket_rows[-1][3] == "bucket_le_+Inf"
+
+    def test_prometheus_round_trip(self):
+        registry = _populated_registry()
+        text = to_prometheus(registry)
+        assert "# TYPE pushes_total counter" in text
+        assert "# HELP solve_seconds LP time" in text
+        samples = parse_prometheus(text)
+        assert samples["pushes_total"] == [
+            ((("mode", "delta"),), 3.0),
+            ((("mode", "full"),), 1.0),
+        ]
+        assert samples["config_version"] == [((), 7.0)]
+        assert samples["solve_seconds_count"] == [((), 3.0)]
+        assert samples["solve_seconds_sum"] == [((), pytest.approx(2.55))]
+        buckets = dict(samples["solve_seconds_bucket"])
+        assert buckets[(("le", "0.1"),)] == 1.0
+        assert buckets[(("le", "1"),)] == 2.0
+        assert buckets[(("le", "+Inf"),)] == 3.0
+
+    def test_prometheus_label_escaping_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("odd_total", labels=("key",)).inc(
+            1, key='quote " slash \\ newline\nend'
+        )
+        ((labels, value),) = parse_prometheus(to_prometheus(registry))["odd_total"]
+        assert dict(labels)["key"] == 'quote " slash \\ newline\nend'
+        assert value == 1.0
+
+    def test_empty_registry_exports_cleanly(self):
+        registry = MetricsRegistry()
+        assert to_prometheus(registry) == ""
+        assert snapshot(registry) == {"version": 1, "metrics": {}}
+        assert list(csv_rows(registry)) == []
+
+
+class TestMetricsSnapshotReport:
+    def test_formats_and_default_json(self):
+        from repro.reporting import MetricsSnapshotReport
+
+        registry = _populated_registry()
+        report = MetricsSnapshotReport(registry)
+        assert report.formats() == ("json", "csv", "prom")
+        assert json.loads(report.to_string()) == snapshot(registry)
+        assert json.loads(report.to_string("json")) == snapshot(registry)
+
+    def test_csv_matches_export_module(self):
+        from repro.reporting import MetricsSnapshotReport
+
+        registry = _populated_registry()
+        stream = io.StringIO()
+        write_csv(registry, stream)
+        assert MetricsSnapshotReport(registry).to_string("csv") == stream.getvalue()
+
+    def test_prom_matches_export_module(self):
+        from repro.reporting import MetricsSnapshotReport
+
+        registry = _populated_registry()
+        assert MetricsSnapshotReport(registry).to_string("prom") == to_prometheus(
+            registry
+        )
+
+    def test_unknown_format_raises(self):
+        from repro.reporting import MetricsSnapshotReport
+
+        with pytest.raises(ValueError):
+            MetricsSnapshotReport(MetricsRegistry()).to_string("xml")

@@ -129,3 +129,69 @@ class TestRegretCSV:
         assert parsed[1] == ["1", "10", "0.09999999999999998"] or float(
             parsed[1][2]
         ) == pytest.approx(0.1)
+
+
+class TestReportProtocol:
+    """The Report.write interface the legacy ``*_csv`` wrappers sit on."""
+
+    def _rows(self):
+        return [
+            ComparisonRow(
+                x=8, edge_cpu=100.0, coord_cpu=60.0, edge_mem_mb=40.0, coord_mem_mb=35.0
+            )
+        ]
+
+    def test_csv_matches_legacy_wrapper(self):
+        rows = self._rows()
+        report = reporting.ComparisonReport(rows, "modules")
+        assert report.to_string("csv") == reporting.to_string(
+            reporting.comparison_csv, rows, "modules"
+        )
+
+    def test_json_envelope(self):
+        import json
+
+        report = reporting.ComparisonReport(self._rows(), "modules")
+        payload = json.loads(report.to_string("json"))
+        assert payload["name"] == "comparison"
+        assert payload["header"][0] == "modules"
+        assert len(payload["rows"]) == 1
+        assert payload["rows"][0][1] == 100.0
+
+    def test_default_format_is_first_of_formats(self):
+        report = reporting.ComparisonReport(self._rows(), "modules")
+        assert report.formats()[0] == "csv"
+        assert report.to_string() == report.to_string("csv")
+
+    def test_unknown_format_raises(self):
+        report = reporting.ComparisonReport(self._rows(), "modules")
+        with pytest.raises(ValueError, match="comparison"):
+            report.to_string("yaml")
+
+    def test_every_report_class_names_are_distinct(self):
+        names = {
+            cls.name
+            for cls in (
+                reporting.ComparisonReport,
+                reporting.PerNodeReport,
+                reporting.MicrobenchReport,
+                reporting.RoundingReport,
+                reporting.RegretReport,
+                reporting.ControlEpochsReport,
+                reporting.MetricsSnapshotReport,
+            )
+        }
+        assert len(names) == 7
+
+    def test_control_epochs_report_matches_wrapper(self):
+        from repro.control import ScenarioConfig, run_scenario
+
+        result = run_scenario(
+            ScenarioConfig(epochs=4, base_sessions=200, seed=5)
+        )
+        report = reporting.ControlEpochsReport(result.records)
+        assert report.to_string("csv") == reporting.to_string(
+            reporting.control_epochs_csv, result.records
+        )
+        parsed = _parse(report.to_string("csv"))
+        assert len(parsed) == 5  # header + 4 epochs
