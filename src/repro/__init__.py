@@ -49,12 +49,13 @@ __version__ = "1.0.0"
 
 def __getattr__(name: str):
     # PEP 562: the stable facade (repro.api) pulls in the emulation,
-    # control, and reporting stacks — load it only on first access so
-    # `import repro` stays light.
-    if name == "api":
+    # control, and reporting stacks, and the static-analysis subsystem
+    # (repro.analysis) pulls in its rule engine — load either only on
+    # first access so `import repro` stays light.
+    if name in ("api", "analysis"):
         import importlib
 
-        return importlib.import_module(".api", __name__)
+        return importlib.import_module(f".{name}", __name__)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -78,6 +79,7 @@ def quick_nids_deployment(num_sessions: int = 2000, seed: int = 1):
 
 
 __all__ = [
+    "analysis",
     "api",
     "CoordinatedDispatcher",
     "FPLConfig",

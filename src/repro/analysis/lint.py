@@ -1,0 +1,308 @@
+"""The domain-aware AST lint engine (``repro analysis lint``).
+
+The reproduction's correctness rests on invariants that ordinary
+linters cannot see: hash-range boundaries compared with ``==`` break
+the Fig. 2 partition an ulp at a time, an unseeded RNG silently
+de-reproduces Figs. 6-11, and a metric family renamed in code but not
+in ``docs/observability.md`` orphans every dashboard built on the
+catalogue.  This module provides the small rule engine those domain
+rules (:mod:`repro.analysis.rules`) plug into:
+
+* :class:`Rule` — the protocol a rule implements: a stable ``rule_id``
+  (``REPnnn``), a one-line ``description``, a per-file
+  :meth:`~Rule.visit_file` hook, and an optional cross-file
+  :meth:`~Rule.finish` hook for whole-project rules;
+* :func:`lint_paths` — walks ``.py`` files, parses each once, runs the
+  rules, and filters suppressed violations;
+* suppression comments — ``# repnoqa`` / ``# repnoqa: REP001`` on the
+  offending line, ``# repnoqa-file`` / ``# repnoqa-file: REP004``
+  anywhere in the file;
+* :func:`render_text` / :func:`render_json` — stable human and
+  machine output (schema version 1).
+
+Exit-code contract (used by CI): 0 clean, 1 violations, 2 bad usage.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: JSON output schema version (``render_json``).
+LINT_SCHEMA_VERSION = 1
+
+#: Inline / file-level suppression markers.
+_SUPPRESS_LINE = re.compile(r"#\s*repnoqa(?::\s*(?P<rules>[A-Z0-9, ]+))?")
+_SUPPRESS_FILE = re.compile(r"#\s*repnoqa-file(?::\s*(?P<rules>[A-Z0-9, ]+))?")
+
+_RULE_ID = re.compile(r"^REP\d{3}$")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: *rule_id* fired at *path*:*line*:*col*."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: REPnnn message`` (the text output row)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one parsed source file."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+
+@dataclass
+class ProjectContext:
+    """Cross-file state handed to :meth:`Rule.finish`.
+
+    ``root`` is the directory treated as the repository root (where
+    ``docs/`` and ``pyproject.toml`` live); whole-project rules resolve
+    companion artifacts such as ``docs/observability.md`` against it.
+    """
+
+    root: Optional[str]
+    files: List[FileContext] = field(default_factory=list)
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`rule_id` / :attr:`description` and override
+    :meth:`visit_file` (per-file findings) and/or :meth:`finish`
+    (findings that need the whole project, e.g. cross-file drift).
+    """
+
+    rule_id: str = "REP000"
+    description: str = ""
+
+    def visit_file(self, ctx: FileContext) -> Iterable[Violation]:
+        """Findings local to one file (default: none)."""
+        return ()
+
+    def finish(self, project: ProjectContext) -> Iterable[Violation]:
+        """Findings requiring the full file set (default: none)."""
+        return ()
+
+
+@dataclass
+class LintResult:
+    """Outcome of one :func:`lint_paths` run."""
+
+    violations: List[Violation]
+    files_checked: int
+    rule_ids: Tuple[str, ...]
+    #: Files that could not be parsed: (path, error message).
+    errors: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no violations and no parse errors."""
+        return not self.violations and not self.errors
+
+
+def _parse_suppressions(
+    lines: Sequence[str],
+) -> Tuple[Dict[int, Optional[Set[str]]], Optional[Set[str]], bool]:
+    """Extract suppression comments from raw source lines.
+
+    Returns ``(per_line, file_rules, file_all)`` where ``per_line``
+    maps 1-based line numbers to a rule-ID set (``None`` = all rules),
+    ``file_rules`` is the file-level suppressed set, and ``file_all``
+    means the whole file is exempt from every rule.
+    """
+    per_line: Dict[int, Optional[Set[str]]] = {}
+    file_rules: Set[str] = set()
+    file_all = False
+    for number, text in enumerate(lines, start=1):
+        if "repnoqa" not in text:
+            continue
+        file_match = _SUPPRESS_FILE.search(text)
+        if file_match:
+            listed = file_match.group("rules")
+            if listed:
+                file_rules.update(_split_rules(listed))
+            else:
+                file_all = True
+            continue
+        line_match = _SUPPRESS_LINE.search(text)
+        if line_match:
+            listed = line_match.group("rules")
+            per_line[number] = set(_split_rules(listed)) if listed else None
+    return per_line, (file_rules or None), file_all
+
+
+def _split_rules(listed: str) -> List[str]:
+    return [token.strip() for token in listed.split(",") if token.strip()]
+
+
+def _suppressed(
+    violation: Violation,
+    per_line: Dict[int, Optional[Set[str]]],
+    file_rules: Optional[Set[str]],
+    file_all: bool,
+) -> bool:
+    if file_all:
+        return True
+    if file_rules and violation.rule_id in file_rules:
+        return True
+    if violation.line in per_line:
+        allowed = per_line[violation.line]
+        return allowed is None or violation.rule_id in allowed
+    return False
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand *paths* (files or directories) into sorted ``.py`` files."""
+    found: Set[str] = set()
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = [
+                    d for d in dirnames
+                    if d not in ("__pycache__", ".git", ".venv")
+                ]
+                for name in filenames:
+                    if name.endswith(".py"):
+                        found.add(os.path.join(dirpath, name))
+        elif path.endswith(".py"):
+            found.add(path)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {path}")
+    return sorted(found)
+
+
+def find_project_root(start: str) -> Optional[str]:
+    """Walk upward from *start* to the directory holding
+    ``pyproject.toml`` (or ``.git``); ``None`` when no marker found."""
+    probe = os.path.abspath(start)
+    if os.path.isfile(probe):
+        probe = os.path.dirname(probe)
+    while True:
+        if os.path.exists(os.path.join(probe, "pyproject.toml")) or (
+            os.path.isdir(os.path.join(probe, ".git"))
+        ):
+            return probe
+        parent = os.path.dirname(probe)
+        if parent == probe:
+            return None
+        probe = parent
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    root: Optional[str] = None,
+) -> LintResult:
+    """Run *rules* over every ``.py`` file under *paths*.
+
+    *root* anchors whole-project rules (docs lookups); when omitted it
+    is discovered by walking up from the first path.  Violations come
+    back sorted by (path, line, col, rule) with suppressions applied.
+    """
+    if rules is None:
+        from .rules import default_rules
+
+        rules = default_rules()
+    seen: Set[str] = set()
+    for rule in rules:
+        if not _RULE_ID.match(rule.rule_id):
+            raise ValueError(f"unstable rule id {rule.rule_id!r}")
+        if rule.rule_id in seen:
+            raise ValueError(f"duplicate rule id {rule.rule_id!r}")
+        seen.add(rule.rule_id)
+
+    files = iter_python_files(paths)
+    if root is None and files:
+        root = find_project_root(files[0])
+    project = ProjectContext(root=root)
+    violations: List[Violation] = []
+    errors: List[Tuple[str, str]] = []
+    suppressions: Dict[str, Tuple] = {}
+    for path in files:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            errors.append((path, f"syntax error: {error.msg} (line {error.lineno})"))
+            continue
+        ctx = FileContext(path=path, source=source, tree=tree)
+        suppressions[path] = _parse_suppressions(ctx.lines)
+        project.files.append(ctx)
+        for rule in rules:
+            violations.extend(rule.visit_file(ctx))
+    for rule in rules:
+        violations.extend(rule.finish(project))
+
+    kept = []
+    for violation in violations:
+        per_line, file_rules, file_all = suppressions.get(
+            violation.path, ({}, None, False)
+        )
+        if not _suppressed(violation, per_line, file_rules, file_all):
+            kept.append(violation)
+    kept.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return LintResult(
+        violations=kept,
+        files_checked=len(files),
+        rule_ids=tuple(rule.rule_id for rule in rules),
+        errors=errors,
+    )
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report: one ``path:line:col`` row per violation."""
+    rows = [violation.render() for violation in result.violations]
+    rows.extend(f"{path}: ERROR {message}" for path, message in result.errors)
+    summary = (
+        f"{len(result.violations)} violation(s) in"
+        f" {result.files_checked} file(s)"
+    )
+    return "\n".join(rows + [summary])
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (stable schema, version 1)."""
+    return json.dumps(
+        {
+            "version": LINT_SCHEMA_VERSION,
+            "files_checked": result.files_checked,
+            "rules": list(result.rule_ids),
+            "violations": [
+                {
+                    "rule": v.rule_id,
+                    "path": v.path,
+                    "line": v.line,
+                    "col": v.col,
+                    "message": v.message,
+                }
+                for v in result.violations
+            ],
+            "errors": [
+                {"path": path, "message": message}
+                for path, message in result.errors
+            ],
+        },
+        indent=2,
+        sort_keys=True,
+    )

@@ -12,6 +12,9 @@ Gives operators the paper's workflow without writing Python:
 * ``online`` — FPL adaptation regret over time;
 * ``control run`` — run the controller–agent coordination plane
   through a scripted traffic-shift / failure / recovery scenario;
+* ``analysis lint`` / ``analysis verify`` — domain static analysis:
+  AST lint rules (REP001-REP005) and offline verification of planning
+  artifacts against the deployment invariants (REP101-REP108);
 * ``figures`` — write per-figure CSV artifacts.
 
 Run ``python -m repro.cli <command> --help`` for per-command options.
@@ -24,7 +27,7 @@ import random
 import sys
 from typing import List, Optional
 
-from .core.manifest_io import dump_manifests
+from .core.manifest_io import dump_assignment, dump_manifests
 from .core.nids_deployment import plan_deployment
 from .core.nips_milp import (
     DEFAULT_CPU_CAP_PACKETS,
@@ -110,6 +113,10 @@ def cmd_plan_nids(args) -> int:
         with open(args.output, "w") as handle:
             handle.write(text)
         print(f"wrote {len(deployment.manifests)} node manifests to {args.output}")
+    if args.assignment_output:
+        with open(args.assignment_output, "w") as handle:
+            handle.write(dump_assignment(assignment))
+        print(f"wrote solved assignment to {args.assignment_output}")
     return 0
 
 
@@ -348,6 +355,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="plan from NetFlow sampled at this rate instead of ground truth",
     )
     plan.add_argument("--output", help="write per-node manifests JSON here")
+    plan.add_argument(
+        "--assignment-output",
+        help="write the solved d* assignment JSON here (enables"
+        " `repro analysis verify --assignment`)",
+    )
     plan.set_defaults(func=cmd_plan_nids)
 
     emulate = sub.add_parser("emulate", help="edge-only vs. coordinated emulation")
@@ -414,6 +426,14 @@ def build_parser() -> argparse.ArgumentParser:
         " (JSON; Prometheus text if the path ends in .prom)",
     )
     run.set_defaults(func=cmd_control_run)
+
+    from .analysis.cli import configure_parser as configure_analysis
+
+    analysis = sub.add_parser(
+        "analysis",
+        help="domain static analysis: AST lint + artifact verification",
+    )
+    configure_analysis(analysis)
 
     figures = sub.add_parser("figures", help="write figure data as CSV artifacts")
     figures.add_argument("--output-dir", default="figures")

@@ -16,7 +16,10 @@ closes that loop at runtime:
    measured traffic drifted materially ("drift"), or (e) a periodic
    refresh is due ("periodic").
 3. **Distribute** — new manifests are stabilized against the previous
-   epoch (sub-tolerance churn suppressed per unit), then pushed to
+   epoch (sub-tolerance churn suppressed per unit), statically
+   verified by a fail-closed gate (:mod:`repro.analysis.verify`; a
+   rejected configuration is counted and the previous one stays
+   active), then pushed to
    each agent as an epoch-versioned **delta** against the manifest
    that agent last acknowledged — falling back to a full manifest when
    the delta would be larger, when the agent requests a resync, or on
@@ -35,8 +38,13 @@ import json
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
+from ..analysis.verify import (
+    VerificationReport,
+    check_on_path,
+    verify_deployment,
+)
 from ..core.dispatch import UnitResolver
-from ..core.manifest import generate_manifests, verify_manifests, NodeManifest
+from ..core.manifest import generate_manifests, NodeManifest
 from ..core.manifest_io import delta_is_empty, manifest_diff, manifest_to_dict
 from ..core.nids_deployment import NIDSDeployment
 from ..core.nids_lp import NIDSAssignment, solve_nids_lp
@@ -112,6 +120,8 @@ class ControllerStats:
 
     resolves: int = 0
     repairs: int = 0
+    #: Configurations refused by the pre-distribution static verifier.
+    rejections: int = 0
     pushes_full: int = 0
     pushes_delta: int = 0
     retries: int = 0
@@ -180,6 +190,12 @@ class Controller:
         self.registry.counter(
             "controller_repairs_total",
             "targeted failure-repair redistributions",
+        )
+        self.registry.counter(
+            "controller_manifest_rejections_total",
+            "configurations refused by the pre-distribution static"
+            " verifier, by violated invariant",
+            labels=("rule",),
         )
         self.registry.counter(
             "heartbeat_failures_total",
@@ -311,10 +327,48 @@ class Controller:
             )
         else:
             stabilized = proposed
-        verify_manifests(units, stabilized)
+        if not self._gate(units, stabilized, stage="resolve"):
+            # Fail closed: the previous configuration stays active and
+            # the next epoch's trigger logic will attempt a fresh plan.
+            return
         self._adopt(stabilized, units, assignment, now, reason)
         self.stats.resolves += 1
         self._last_resolve_epoch = self._epoch.epoch
+
+    def _gate(
+        self,
+        units: Sequence[CoordinationUnit],
+        manifests: Dict[str, NodeManifest],
+        stage: str,
+    ) -> bool:
+        """Fail-closed pre-distribution gate (static verification).
+
+        Full re-plans must satisfy the partition *and* on-path
+        invariants; failure repairs only the on-path one (a repair may
+        legitimately leave orphaned mass uncovered when a unit's whole
+        eligible set is down, but must never move mass off-path).  The
+        manifest-vs-``d*`` match is deliberately not checked here:
+        churn stabilization keeps manifests up to its tolerance away
+        from the fresh optimum by design.
+        """
+        if stage == "repair":
+            report = VerificationReport(
+                findings=check_on_path(units, manifests), checks=("on-path",)
+            )
+        else:
+            report = verify_deployment(units, manifests)
+        if report.ok:
+            return True
+        self.stats.rejections += 1
+        counter = self.registry.counter(
+            "controller_manifest_rejections_total",
+            "configurations refused by the pre-distribution static"
+            " verifier, by violated invariant",
+            labels=("rule",),
+        )
+        for rule_id in report.rule_ids():
+            counter.inc(rule=rule_id)
+        return False
 
     def _repair(self, now: float) -> None:
         """Targeted redistribution of the failed nodes' hash ranges."""
@@ -325,6 +379,8 @@ class Controller:
         assignment = (
             self.deployment.assignment if self.deployment is not None else None
         )
+        if not self._gate(self.planned_units, result.manifests, stage="repair"):
+            return
         self._adopt(result.manifests, self.planned_units, assignment, now, "failure")
         self.stats.repairs += 1
         self.registry.counter(

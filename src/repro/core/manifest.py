@@ -202,7 +202,7 @@ def verify_manifests(
         # generated manifests must reach 1.0 *exactly* (generate
         # snaps), so solver-epsilon gaps can never reach dispatch.
         top = max(p.hi for p in all_pieces if not p.empty)
-        if top != 1.0:
+        if top != 1.0:  # repnoqa: REP001 -- exactness is the invariant
             raise ValueError(
                 f"unit {unit.ident} union tops out at {top!r}, not exactly 1.0"
             )

@@ -27,7 +27,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-from ..hashing.ranges import HashRange
+from ..hashing.ranges import EPSILON, HashRange
 from .manifest import NodeManifest
 from .nids_deployment import NIDSDeployment
 from .units import CoordinationUnit, UnitKey
@@ -49,14 +49,16 @@ def conservative_units(
     at the cost of a proportionally higher planned max load.  All
     resource fields (``pkts``, ``items``, ``cpu_work``, ``mem_bytes``)
     scale together; identity fields (class, key, eligible set) are
-    preserved.  ``headroom == 1.0`` is a no-op fast path returning the
-    units unscaled (the controller's default per-epoch path).
+    preserved.  A headroom within EPSILON of 1.0 is a no-op fast path
+    returning the units unscaled (the controller's default per-epoch
+    path) — callers computing headroom as e.g. ``p95 / mean`` land a
+    solver-epsilon below 1.0 and must not be rejected.
     """
     if not math.isfinite(headroom):
         raise ValueError(f"headroom must be finite, got {headroom!r}")
-    if headroom < 1.0:
+    if headroom < 1.0 - EPSILON:
         raise ValueError("headroom must be >= 1")
-    if headroom == 1.0:
+    if abs(headroom - 1.0) <= EPSILON:
         return list(units)
     return [
         dataclasses.replace(

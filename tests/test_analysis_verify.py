@@ -1,0 +1,381 @@
+"""Tests for the static deployment-artifact verifier (REP101-REP108).
+
+Strategy: build a known-good artifact, corrupt exactly one invariant,
+and assert the verifier reports exactly the corresponding rule ID —
+the property CI and the controller gate rely on to attribute failures.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.analysis.cli import main as analysis_main
+from repro.analysis.verify import (
+    ManifestRejectedError,
+    VERIFIER_RULES,
+    check_delta,
+    verify_artifact_files,
+    verify_delta,
+    verify_deployment,
+    verify_nips,
+)
+from repro.core.manifest import NodeManifest, generate_manifests
+from repro.core.manifest_io import (
+    dump_assignment,
+    dump_manifests,
+    manifest_diff,
+)
+from repro.core.nids_lp import NIDSAssignment
+from repro.core.nips_manifest import generate_nips_manifests
+from repro.core.nips_milp import build_nips_problem
+from repro.core.units import CoordinationUnit
+from repro.hashing.ranges import HashRange
+from repro.nips.rules import MatchRateMatrix, unit_rules
+from repro.topology import internet2
+
+
+def make_unit(nodes=("A", "B"), class_name="c", key=("k",)):
+    return CoordinationUnit(
+        class_name=class_name,
+        key=key,
+        eligible=tuple(nodes),
+        pkts=1.0,
+        items=1.0,
+        cpu_work=1.0,
+        mem_bytes=1.0,
+    )
+
+
+def make_assignment(unit, weights):
+    return NIDSAssignment(
+        fractions={
+            (unit.class_name, unit.key, node): w for node, w in weights.items()
+        },
+        cpu_load={},
+        mem_load={},
+        objective=0.0,
+        coverage={unit.ident: 1.0},
+        solve_seconds=0.0,
+    )
+
+
+def good_world(split=0.6):
+    """One unit split across two nodes: the minimal valid deployment."""
+    unit = make_unit()
+    ident = unit.ident
+    manifests = {
+        "A": NodeManifest("A", {ident: (HashRange(0.0, split),)}),
+        "B": NodeManifest("B", {ident: (HashRange(split, 1.0),)}),
+    }
+    assignment = make_assignment(unit, {"A": split, "B": 1.0 - split})
+    return unit, manifests, assignment
+
+
+class TestDeploymentChecks:
+    def test_valid_deployment_is_clean(self):
+        unit, manifests, assignment = good_world()
+        report = verify_deployment([unit], manifests, assignment)
+        assert report.ok
+        assert report.checks == (
+            "partition", "on-path", "assignment", "assignment-match"
+        )
+
+    def test_coverage_gap_is_rep101(self):
+        unit, manifests, _ = good_world()
+        manifests["B"].entries[unit.ident] = (HashRange(0.7, 1.0),)
+        report = verify_deployment([unit], manifests)
+        assert report.rule_ids() == ["REP101"]
+
+    def test_overlapping_ranges_on_one_node_is_rep102(self):
+        unit, manifests, _ = good_world()
+        manifests["A"].entries[unit.ident] = (
+            HashRange(0.0, 0.6),
+            HashRange(0.4, 0.6),
+        )
+        report = verify_deployment([unit], manifests)
+        assert "REP102" in report.rule_ids()
+
+    def test_top_sliver_below_one_is_rep103(self):
+        # Coverage tolerates an EPSILON shortfall at the top, so a
+        # 5e-10 sliver passes REP101 — but the top-snap invariant
+        # (exactly 1.0) is its own rule.
+        unit, manifests, _ = good_world()
+        manifests["B"].entries[unit.ident] = (HashRange(0.6, 1.0 - 5e-10),)
+        report = verify_deployment([unit], manifests)
+        assert report.rule_ids() == ["REP103"]
+
+    def test_off_path_mass_is_rep104(self):
+        unit, manifests, _ = good_world()
+        # A third node, never on the unit's forwarding path, holds mass
+        # — and the partition stays exact, so REP104 fires alone.
+        manifests["A"].entries[unit.ident] = (HashRange(0.0, 0.3),)
+        manifests["C"] = NodeManifest("C", {unit.ident: (HashRange(0.3, 0.6),)})
+        report = verify_deployment([unit], manifests)
+        assert report.rule_ids() == ["REP104"]
+
+    def test_unplanned_unit_entry_is_rep104(self):
+        unit, manifests, _ = good_world()
+        manifests["A"].entries[("ghost", ("g",))] = (HashRange(0.0, 0.2),)
+        report = verify_deployment([unit], manifests)
+        assert report.rule_ids() == ["REP104"]
+
+    def test_assignment_sum_short_is_rep101(self):
+        unit, manifests, _ = good_world()
+        bad = make_assignment(unit, {"A": 0.6, "B": 0.1})
+        report = verify_deployment([unit], manifests, bad)
+        assert "REP101" in report.rule_ids()
+
+    def test_assignment_off_path_is_rep104(self):
+        unit, manifests, _ = good_world()
+        bad = make_assignment(unit, {"A": 0.6, "B": 0.3, "Z": 0.1})
+        report = verify_deployment([unit], manifests, bad)
+        assert "REP104" in report.rule_ids()
+
+    def test_manifest_vs_dstar_drift_is_rep107(self):
+        unit, manifests, _ = good_world(split=0.6)
+        drifted = make_assignment(unit, {"A": 0.5, "B": 0.5})
+        report = verify_deployment([unit], manifests, drifted)
+        assert report.rule_ids() == ["REP107"]
+
+    def test_generated_manifests_verify_clean(self):
+        # The real generation pipeline must satisfy its own verifier.
+        rng = random.Random(3)
+        nodes = ["n0", "n1", "n2"]
+        units = [
+            make_unit(nodes=tuple(nodes), key=(f"k{i}",)) for i in range(6)
+        ]
+        fractions = {}
+        for unit in units:
+            weights = [rng.random() for _ in nodes]
+            total = sum(weights)
+            for node, w in zip(nodes, weights):
+                fractions[(unit.class_name, unit.key, node)] = w / total
+        assignment = NIDSAssignment(
+            fractions=fractions,
+            cpu_load={},
+            mem_load={},
+            objective=0.0,
+            coverage={unit.ident: 1.0 for unit in units},
+            solve_seconds=0.0,
+        )
+        manifests = generate_manifests(units, assignment, nodes)
+        report = verify_deployment(units, manifests, assignment)
+        assert report.ok, report.render_text()
+
+    def test_raise_for_findings(self):
+        unit, manifests, _ = good_world()
+        manifests["B"].entries[unit.ident] = (HashRange(0.7, 1.0),)
+        report = verify_deployment([unit], manifests)
+        with pytest.raises(ManifestRejectedError) as excinfo:
+            report.raise_for_findings()
+        assert excinfo.value.report is report
+        assert "REP101" in str(excinfo.value)
+
+    def test_report_json_schema(self):
+        unit, manifests, _ = good_world()
+        manifests["B"].entries[unit.ident] = (HashRange(0.7, 1.0),)
+        payload = json.loads(verify_deployment([unit], manifests).render_json())
+        assert payload["version"] == 1 and payload["ok"] is False
+        (finding,) = payload["findings"]
+        assert set(finding) == {"rule", "subject", "message"}
+        assert finding["rule"] in VERIFIER_RULES
+
+
+class TestDeltaChecks:
+    @staticmethod
+    def base_and_new():
+        ident = ("c", ("k",))
+        base = NodeManifest("A", {ident: (HashRange(0.0, 0.5),)})
+        new = NodeManifest("A", {ident: (HashRange(0.0, 0.7),)})
+        return base, new
+
+    def test_clean_delta_verifies(self):
+        base, new = self.base_and_new()
+        assert verify_delta(base, manifest_diff(base, new)).ok
+
+    def test_wrong_node_is_rep106(self):
+        base, new = self.base_and_new()
+        delta = dict(manifest_diff(base, new), node="B")
+        report = verify_delta(base, delta)
+        assert report.rule_ids() == ["REP106"]
+
+    def test_wrong_schema_version_is_rep106(self):
+        base, new = self.base_and_new()
+        delta = dict(manifest_diff(base, new), version=99)
+        assert verify_delta(base, delta).rule_ids() == ["REP106"]
+
+    def test_removal_absent_from_base_is_rep106(self):
+        base, new = self.base_and_new()
+        delta = manifest_diff(base, new)
+        delta["removed"] = [{"class": "c", "unit": ["other"]}]
+        report = verify_delta(base, delta)
+        assert "REP106" in report.rule_ids()
+
+    def test_delta_leaving_overlap_is_rep102(self):
+        base, new = self.base_and_new()
+        delta = manifest_diff(base, new)
+        delta["changed"][0]["ranges"] = [[0.0, 0.5], [0.4, 0.9]]
+        report = verify_delta(base, delta)
+        assert report.rule_ids() == ["REP102"]
+
+    def test_check_delta_malformed_ranges_is_rep106(self):
+        base, new = self.base_and_new()
+        delta = manifest_diff(base, new)
+        delta["changed"][0]["ranges"] = [[0.9, 0.1]]  # lo > hi
+        findings = check_delta(base, delta)
+        assert [f.rule_id for f in findings] == ["REP106"]
+
+
+@pytest.fixture(scope="module")
+def nips_world():
+    topology = internet2().set_uniform_capacities(cpu=1e9, mem=1e9, cam=2.0)
+    rules = unit_rules(3)
+    pairs = [
+        (a, b)
+        for a in topology.node_names
+        for b in topology.node_names
+        if a != b
+    ]
+    match = MatchRateMatrix.uniform(rules, pairs, random.Random(5))
+    problem = build_nips_problem(topology, rules, match)
+    return problem
+
+
+class TestNIPSChecks:
+    @staticmethod
+    def solution_for(problem, pair, rule_index=0):
+        """Enable one rule at the pair's first on-path node, full mass."""
+        node = problem.paths[pair].nodes[0]
+        cls = type(
+            "Solution", (), {}
+        )  # avoid importing the LP layer for a plain data holder
+        solution = cls()
+        solution.e = {(rule_index, node): 1.0}
+        solution.d = {(rule_index, pair, node): 1.0}
+        solution.objective = 0.0
+        solution.solve_seconds = 0.0
+        return solution, node
+
+    def test_valid_solution_is_clean(self, nips_world):
+        problem = nips_world
+        pair = next(iter(problem.paths))
+        solution, _ = self.solution_for(problem, pair)
+        assert verify_nips(problem, solution).ok
+
+    def test_tcam_overflow_is_rep105(self, nips_world):
+        problem = nips_world
+        pair = next(iter(problem.paths))
+        solution, node = self.solution_for(problem, pair)
+        # cam capacity is 2.0 slots; enabling all three unit rules
+        # (cam_req=1.0 each) overflows it.
+        solution.e = {(i, node): 1.0 for i in range(3)}
+        solution.d = {}
+        report = verify_nips(problem, solution)
+        assert report.rule_ids() == ["REP105"]
+
+    def test_sampling_without_enablement_is_rep108(self, nips_world):
+        problem = nips_world
+        pair = next(iter(problem.paths))
+        solution, node = self.solution_for(problem, pair)
+        solution.e = {}
+        report = verify_nips(problem, solution)
+        assert report.rule_ids() == ["REP108"]
+
+    def test_off_path_filtering_is_rep104(self, nips_world):
+        problem = nips_world
+        pair = next(iter(problem.paths))
+        solution, _ = self.solution_for(problem, pair)
+        off_path = next(
+            n
+            for n in problem.topology.node_names
+            if n not in problem.paths[pair].nodes
+        )
+        solution.e[(0, off_path)] = 1.0
+        solution.d = {(0, pair, off_path): 1.0}
+        report = verify_nips(problem, solution)
+        assert report.rule_ids() == ["REP104"]
+
+    def test_path_mass_above_one_is_rep101(self, nips_world):
+        problem = nips_world
+        pair = next(iter(problem.paths))
+        solution, node = self.solution_for(problem, pair)
+        second = problem.paths[pair].nodes[-1]
+        solution.e[(0, second)] = 1.0
+        solution.d[(0, pair, second)] = 0.4  # 1.0 + 0.4 > 1
+        report = verify_nips(problem, solution)
+        assert report.rule_ids() == ["REP101"]
+
+    def test_generated_nips_manifests_verify_clean(self, nips_world):
+        problem = nips_world
+        pair = next(iter(problem.paths))
+        solution, _ = self.solution_for(problem, pair)
+        manifests = generate_nips_manifests(problem, solution)
+        assert verify_nips(problem, solution, manifests).ok
+
+    def test_manifest_sampling_outside_tcam_is_rep108(self, nips_world):
+        problem = nips_world
+        pair = next(iter(problem.paths))
+        solution, node = self.solution_for(problem, pair)
+        manifests = generate_nips_manifests(problem, solution)
+        manifests[node].ranges[(1, pair)] = (HashRange(0.0, 0.0),)
+        report = verify_nips(problem, solution, manifests)
+        assert "REP108" in report.rule_ids()
+
+    def test_manifest_mass_drift_is_rep107(self, nips_world):
+        problem = nips_world
+        pair = next(iter(problem.paths))
+        solution, node = self.solution_for(problem, pair)
+        manifests = generate_nips_manifests(problem, solution)
+        manifests[node].ranges[(0, pair)] = (HashRange(0.0, 0.5),)
+        report = verify_nips(problem, solution, manifests)
+        assert report.rule_ids() == ["REP107"]
+
+
+class TestArtifactFiles:
+    @staticmethod
+    def write_artifacts(tmp_path, manifests, assignment=None):
+        manifests_path = tmp_path / "manifests.json"
+        manifests_path.write_text(dump_manifests(manifests))
+        assignment_path = None
+        if assignment is not None:
+            assignment_path = tmp_path / "assignment.json"
+            assignment_path.write_text(dump_assignment(assignment))
+        return manifests_path, assignment_path
+
+    def test_round_trip_clean(self, tmp_path):
+        unit, manifests, assignment = good_world()
+        m_path, a_path = self.write_artifacts(tmp_path, manifests, assignment)
+        report = verify_artifact_files(str(m_path), str(a_path))
+        assert report.ok
+
+    def test_fold_inferred_noted_without_assignment(self, tmp_path):
+        unit, manifests, _ = good_world()
+        m_path, _ = self.write_artifacts(tmp_path, manifests)
+        report = verify_artifact_files(str(m_path))
+        assert report.ok and "fold-inferred" in report.checks
+
+    def test_corrupted_file_fails_with_rule_id(self, tmp_path):
+        unit, manifests, assignment = good_world()
+        manifests["B"].entries[unit.ident] = (HashRange(0.7, 1.0),)
+        m_path, a_path = self.write_artifacts(tmp_path, manifests, assignment)
+        report = verify_artifact_files(str(m_path), str(a_path))
+        assert "REP101" in report.rule_ids()
+
+    def test_cli_verify_exit_codes(self, tmp_path, capsys):
+        unit, manifests, assignment = good_world()
+        m_path, a_path = self.write_artifacts(tmp_path, manifests, assignment)
+        assert analysis_main(
+            ["verify", "--manifests", str(m_path), "--assignment", str(a_path)]
+        ) == 0
+        manifests["B"].entries[unit.ident] = (HashRange(0.7, 1.0),)
+        m_bad, _ = self.write_artifacts(tmp_path, manifests)
+        assert analysis_main(["verify", "--manifests", str(m_bad)]) == 1
+        assert "REP101" in capsys.readouterr().out
+        assert analysis_main(["verify", "--manifests", str(tmp_path / "no.json")]) == 2
+
+    def test_cli_list_rules(self, capsys):
+        assert analysis_main(["verify", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in VERIFIER_RULES:
+            assert rule_id in out
