@@ -291,6 +291,99 @@ def cmd_control_run(args) -> int:
     return 0
 
 
+def cmd_control_chaos(args) -> int:
+    """Handle ``control chaos``: fault injection + invariant monitor."""
+    from .control import ChaosConfig, build_plan, run_chaos
+    from .topology import by_label
+
+    try:
+        topology = by_label(args.topology)
+        plan = build_plan(
+            args.plan, args.seed, args.epochs, topology.node_names
+        )
+        config = ChaosConfig(
+            plan=plan,
+            topology=args.topology,
+            epochs=args.epochs,
+            base_sessions=args.sessions,
+            profile=args.profile.replace("-", "_"),
+            seed=args.seed,
+            latency=args.latency,
+            jitter=args.jitter,
+            loss_rate=args.loss_rate,
+            lease_ttl=args.lease_ttl,
+            reconverge_epochs=args.reconverge_epochs,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    registry = None
+    if args.metrics_out:
+        from .obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+    result = run_chaos(config, registry=registry)
+    print(
+        f"chaos plan {plan.name!r} on {args.topology}: {config.epochs}"
+        f" epochs, lease TTL {config.lease_ttl:g}s, heal at"
+        f" t={plan.heal_time:g}, seed {config.seed}"
+    )
+    for event in plan.events:
+        target = event.node or (
+            f"{event.src or '*'}->{event.dst or '*'}"
+            if event.kind == "partition"
+            else "-"
+        )
+        print(
+            f"  fault {event.kind:<16} [{event.start:>5.2f}, {event.end:>5.2f})"
+            f" target={target} rate={event.rate:g} delay={event.delay:g}"
+        )
+    print(
+        f"{'epoch':>5} {'coverage':>8} {'baseline':>8} {'uncov':>5}"
+        f" {'degraded':>8} {'fenced':>6}  flags"
+    )
+    for chaos_record in result.records:
+        r = chaos_record.record
+        flags = []
+        if chaos_record.controller_down:
+            flags.append("controller-down")
+        if not r.converged:
+            flags.append("unconverged")
+        if chaos_record.excluded:
+            flags.append("transition")
+        if r.failed_nodes:
+            flags.append("failed=" + ",".join(r.failed_nodes))
+        print(
+            f"{r.epoch:>5} {r.coverage:>8.4f} {chaos_record.baseline_pairs:>8}"
+            f" {chaos_record.uncovered_pairs:>5}"
+            f" {len(chaos_record.degraded_nodes):>8}"
+            f" {len(r.fenced_nodes):>6}  {' '.join(flags)}"
+        )
+    print(
+        f"first degraded epoch: {result.first_degraded_epoch};"
+        f" reconverged at epoch: {result.reconverged_epoch}"
+    )
+    if registry is not None:
+        from .reporting import MetricsSnapshotReport
+
+        fmt = "prom" if args.metrics_out.endswith(".prom") else "json"
+        with open(args.metrics_out, "w") as stream:
+            MetricsSnapshotReport(registry).write(stream, fmt=fmt)
+        print(f"wrote telemetry snapshot ({fmt}) to {args.metrics_out}")
+    violations = result.check_acceptance()
+    if violations:
+        print("INVARIANT VIOLATIONS:")
+        for violation in violations:
+            print(f"  - {violation}")
+        return 1
+    print(
+        "invariants held: coverage never below the edge-only baseline,"
+        " no stale-epoch manifest outlived its lease, reconvergence"
+        " within budget"
+    )
+    return 0
+
+
 def cmd_figures(args) -> int:
     """Regenerate figure data as CSV artifacts."""
     import os
@@ -426,6 +519,46 @@ def build_parser() -> argparse.ArgumentParser:
         " (JSON; Prometheus text if the path ends in .prom)",
     )
     run.set_defaults(func=cmd_control_run)
+
+    chaos = control_sub.add_parser(
+        "chaos",
+        help="inject a seeded fault plan and assert the degradation"
+        " invariants per epoch",
+    )
+    chaos.add_argument(
+        "--plan",
+        default="controller-outage",
+        help="named fault plan (controller-outage, asym-partition,"
+        " agent-restart-stale, lossy-burst) or 'random'",
+    )
+    chaos.add_argument("--topology", default="internet2", help="topology label")
+    chaos.add_argument("--epochs", type=int, default=18)
+    chaos.add_argument(
+        "--sessions", type=int, default=600, help="base sessions per epoch"
+    )
+    chaos.add_argument("--profile", choices=sorted(_PROFILES), default="mixed")
+    chaos.add_argument(
+        "--seed", type=int, default=7,
+        help="seeds traffic, channel, and fault randomness (and the"
+        " schedule itself for --plan random)",
+    )
+    chaos.add_argument("--latency", type=float, default=0.05)
+    chaos.add_argument("--jitter", type=float, default=0.02)
+    chaos.add_argument("--loss-rate", type=float, default=0.0)
+    chaos.add_argument(
+        "--lease-ttl", type=float, default=2.5,
+        help="epoch-lease TTL before edge-only fallback (seconds)",
+    )
+    chaos.add_argument(
+        "--reconverge-epochs", type=int, default=4,
+        help="epochs allowed between fault heal and a settled plane",
+    )
+    chaos.add_argument(
+        "--metrics-out",
+        help="enable telemetry and write the snapshot here"
+        " (JSON; Prometheus text if the path ends in .prom)",
+    )
+    chaos.set_defaults(func=cmd_control_chaos)
 
     from .analysis.cli import configure_parser as configure_analysis
 

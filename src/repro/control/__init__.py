@@ -5,12 +5,28 @@ The offline pipeline (measure → estimate → LP → manifests) answers
 continuously: an operations-center :class:`Controller` on an epoch
 clock, per-node :class:`Agent` endpoints, a lossy simulated
 :class:`Bus` between them, epoch-versioned delta distribution,
-heartbeat-driven failure detection with targeted redistribution, and
-scripted end-to-end scenarios.
+heartbeat-driven failure detection with targeted redistribution,
+scripted end-to-end scenarios, and a seeded chaos harness
+(:mod:`repro.control.chaos`) that injects adversarial fault plans and
+asserts the graceful-degradation invariants per epoch.
 """
 
 from .agent import Agent, AgentConfig, AgentStats
 from .bus import Bus, BusConfig, BusStats, Message
+from .chaos import (
+    ChaosBus,
+    ChaosConfig,
+    ChaosEpochRecord,
+    ChaosResult,
+    FaultEvent,
+    FaultPlan,
+    InvariantMonitor,
+    InvariantViolation,
+    NAMED_PLANS,
+    build_plan,
+    random_fault_plan,
+    run_chaos,
+)
 from .controller import Controller, ControllerConfig, ControllerStats, PushState
 from .epochs import (
     CoverageSummary,
@@ -44,13 +60,22 @@ __all__ = [
     "BusConfig",
     "BusStats",
     "COVERAGE_FLOOR",
+    "ChaosBus",
+    "ChaosConfig",
+    "ChaosEpochRecord",
+    "ChaosResult",
     "Controller",
     "ControllerConfig",
     "ControllerStats",
     "CoverageSummary",
     "EpochRecord",
+    "FaultEvent",
+    "FaultPlan",
     "HeartbeatMonitor",
+    "InvariantMonitor",
+    "InvariantViolation",
     "Message",
+    "NAMED_PLANS",
     "PROFILES",
     "PushState",
     "REDISTRIBUTION_DEADLINE_EPOCHS",
@@ -58,9 +83,12 @@ __all__ = [
     "ScenarioConfig",
     "ScenarioEvent",
     "ScenarioResult",
+    "build_plan",
     "coverage_metrics",
     "merge_reports",
+    "random_fault_plan",
     "repair_manifests",
+    "run_chaos",
     "run_scenario",
     "stabilize_manifests",
     "standard_scenario",

@@ -18,13 +18,28 @@ Each network node runs an agent that (paper §2.3, §5):
 Crash/recover model a NIDS software failure: a crashed agent drops all
 incoming messages and sends nothing; on recovery it restarts cold
 (empty manifest, version −1) and waits for the controller to push a
-full manifest.
+full manifest.  A *warm* restart (``recover(warm=True)``) models the
+process coming back holding a pre-crash manifest on disk: the state is
+kept for inspection but is never served — the agent re-enters through
+the degraded path and requests a full (non-delta) resync.
+
+**Graceful degradation** (``docs/fault_model.md``): when
+``AgentConfig.lease_ttl`` is set, the agent holds an *epoch lease* that
+any controller message refreshes.  While the lease is valid the agent
+serves its coordinated manifest; when it expires (the controller is
+unreachable, or stopped renewing because it fenced this node), the
+agent falls back to a locally derived **edge-only** stance — the
+paper's baseline deployment, full coverage of the node's own ingress
+sessions — rather than acting on configuration it can no longer trust.
+It exits degradation only once a valid lease is held *and* the applied
+manifest version has caught up with the newest version the controller
+has announced (epoch fencing), so a stale-epoch manifest never
+outlives its lease.
 """
 
 from __future__ import annotations
 
-import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..core.manifest import NodeManifest
@@ -39,6 +54,7 @@ from .bus import Bus, Message
 #: Nominal wire sizes for the small fixed-format control messages.
 HEARTBEAT_BYTES = 64
 ACK_BYTES = 96
+RESYNC_REQUEST_BYTES = 48
 
 
 def report_bytes(report) -> int:
@@ -56,6 +72,10 @@ class AgentConfig:
     #: connections ... expire").
     transition_window: float = 2.0
     controller: str = "controller"
+    #: Epoch-lease TTL in seconds; ``None`` disables the lease (the
+    #: agent trusts its manifest indefinitely — the pre-hardening
+    #: behaviour).  When set, lease expiry triggers edge-only fallback.
+    lease_ttl: Optional[float] = None
 
 
 @dataclass
@@ -67,6 +87,8 @@ class AgentStats:
     resyncs_requested: int = 0
     heartbeats_sent: int = 0
     reports_sent: int = 0
+    lease_expirations: int = 0
+    degraded_epochs: int = 0
 
 
 class Agent:
@@ -92,6 +114,37 @@ class Agent:
         self.retiring: Optional[Tuple[NodeManifest, float]] = None
         self.stats = AgentStats()
         self._last_heartbeat = float("-inf")
+        #: Edge-only fallback active (meaningful only with a lease TTL).
+        self.degraded = False
+        #: Absolute expiry of the current epoch lease.
+        self.lease_expires_at = float("-inf")
+        #: Newest configuration version the controller has announced
+        #: (via lease renewals or pushes) — the epoch fence.
+        self.known_version = -1
+        self._needs_resync = False
+        if self.config.lease_ttl is not None:
+            # Rare-event families, pre-declared so every snapshot
+            # carries them (value 0 != absent).
+            for name, help_text in (
+                (
+                    "agent_lease_expirations_total",
+                    "epoch leases that expired, forcing edge-only fallback",
+                ),
+                (
+                    "agent_duplicate_suppressions_total",
+                    "duplicated/replayed manifest pushes suppressed by"
+                    " the epoch fence",
+                ),
+                (
+                    "agent_resync_requests_total",
+                    "full-manifest resyncs requested from the controller",
+                ),
+                (
+                    "agent_degraded_epochs_total",
+                    "epochs a node spent in edge-only fallback",
+                ),
+            ):
+                self.registry.counter(name, help_text, labels=("node",))
         #: Compiled (manifest, index) pairs, rebuilt only when the
         #: underlying manifest object changes — batch queries between
         #: manifest pushes reuse the compilation.
@@ -103,13 +156,34 @@ class Agent:
         """NIDS process dies: stop analyzing, reporting, heartbeating."""
         self.alive = False
 
-    def recover(self) -> None:
-        """Process restarts cold: all configuration state is lost."""
+    def recover(self, warm: bool = False) -> None:
+        """Process restarts.
+
+        Cold (default): all configuration state is lost and the agent
+        waits for a full manifest push.  Warm: the pre-crash manifest
+        survived on disk — it is *kept* (so operators and tests can see
+        what the process came back with) but never served: the applied
+        version resets to −1, the lease starts expired, and a full
+        (non-delta) resync is requested, so the stale ranges cannot
+        outlive the restart.
+        """
         self.alive = True
-        self.applied_version = -1
-        self.manifest = NodeManifest(node=self.node)
         self.retiring = None
         self._last_heartbeat = float("-inf")
+        self.lease_expires_at = float("-inf")
+        if warm:
+            # Remember how far the pre-crash config had advanced: the
+            # fence must not let the stale snapshot masquerade as new.
+            self.known_version = max(self.known_version, self.applied_version)
+            self.applied_version = -1
+            self._needs_resync = True
+        else:
+            self.applied_version = -1
+            self.manifest = NodeManifest(node=self.node)
+            self.known_version = -1
+            self._needs_resync = False
+        if self.config.lease_ttl is not None:
+            self.degraded = True
 
     # -- epoch step -------------------------------------------------------
     def step(self, now: float, sessions: Optional[Sequence[Session]] = None) -> None:
@@ -125,9 +199,33 @@ class Agent:
         if not self.alive:
             return
         for message in inbox:
+            if message.src == self.config.controller:
+                self._renew_lease(message.payload, now)
             if message.kind == "manifest-update":
                 self._handle_update(message, now)
+        self._update_degraded(now)
+        if self._needs_resync:
+            self.registry.counter(
+                "agent_resync_requests_total",
+                "full-manifest resyncs requested from the controller",
+                labels=("node",),
+            ).inc(node=self.node)
+            self.bus.send(
+                self.node,
+                self.config.controller,
+                "resync-request",
+                {"node": self.node, "applied": self.applied_version},
+                RESYNC_REQUEST_BYTES,
+                now,
+            )
         if sessions is not None:
+            if self.degraded:
+                self.stats.degraded_epochs += 1
+                self.registry.counter(
+                    "agent_degraded_epochs_total",
+                    "epochs a node spent in edge-only fallback",
+                    labels=("node",),
+                ).inc(node=self.node)
             self.registry.counter(
                 "agent_dispatch_sessions_total",
                 "ingress sessions measured (and dispatched on) per node",
@@ -150,7 +248,11 @@ class Agent:
                 self.node,
                 self.config.controller,
                 "heartbeat",
-                {"node": self.node},
+                {
+                    "node": self.node,
+                    "degraded": self.degraded,
+                    "applied": self.applied_version,
+                },
                 HEARTBEAT_BYTES,
                 now,
             )
@@ -158,6 +260,70 @@ class Agent:
             self._last_heartbeat = now
         if self.retiring is not None and now >= self.retiring[1]:
             self.retiring = None
+
+    # -- epoch lease / graceful degradation -------------------------------
+    def lease_valid(self, now: float) -> bool:
+        """Whether the epoch lease is currently held (always True when
+        leases are disabled)."""
+        if self.config.lease_ttl is None:
+            return True
+        return now < self.lease_expires_at
+
+    def _renew_lease(self, payload: object, now: float) -> None:
+        """Any controller message refreshes the lease; renewal payloads
+        carry an absolute expiry so every agent in a beat fences at the
+        same instant."""
+        if self.config.lease_ttl is None:
+            return
+        expires = now + self.config.lease_ttl
+        if isinstance(payload, dict):
+            expires = payload.get("lease_expires_at", expires)
+            version = payload.get("version")
+            if isinstance(version, int) and version > self.known_version:
+                self.known_version = version
+        self.lease_expires_at = max(self.lease_expires_at, expires)
+
+    def _update_degraded(self, now: float) -> None:
+        """Enter/exit edge-only fallback.
+
+        Entry: lease expiry, or no applied configuration at all (cold
+        or warm restart).  Exit (epoch fencing): a valid lease *and*
+        the applied version has caught up with the newest version the
+        controller announced — so a renewed lease alone can never
+        resurrect a stale-epoch manifest.
+        """
+        if self.config.lease_ttl is None:
+            self.degraded = False
+            return
+        in_lease = now < self.lease_expires_at
+        if self.degraded:
+            if (
+                in_lease
+                and self.applied_version >= 0
+                and self.applied_version >= self.known_version
+            ):
+                self.degraded = False
+        elif self.applied_version < 0 or not in_lease:
+            if self.applied_version >= 0:
+                # A real expiry (not a cold start): a configuration was
+                # being served and its authority lapsed.
+                self.stats.lease_expirations += 1
+                self.registry.counter(
+                    "agent_lease_expirations_total",
+                    "epoch leases that expired, forcing edge-only fallback",
+                    labels=("node",),
+                ).inc(node=self.node)
+            self.degraded = True
+            # The dual-manifest window rides on the same stale
+            # authority; drop it along with the current manifest.
+            self.retiring = None
+
+    def _edge_responsible(self, key: UnitKey) -> bool:
+        """Locally derived edge-only stance: this node analyzes every
+        unit it is an endpoint of (its own ingress/egress sessions —
+        the paper's baseline deployment), and nothing it would only see
+        mid-path."""
+        return self.node in key
 
     def _ack(self, version: int, status: str, now: float) -> None:
         self.registry.counter(
@@ -183,27 +349,43 @@ class Agent:
         payload: Dict = message.payload  # type: ignore[assignment]
         version = payload["version"]
         if version <= self.applied_version:
-            # Reordered or retransmitted push we already hold; re-ack so
-            # the controller stops retrying.
+            # Reordered or retransmitted push for an epoch at or behind
+            # the fence; the manifest stays byte-identical and we re-ack
+            # so the controller stops retrying.
             self.stats.duplicates_ignored += 1
+            self.registry.counter(
+                "agent_duplicate_suppressions_total",
+                "duplicated/replayed manifest pushes suppressed by"
+                " the epoch fence",
+                labels=("node",),
+            ).inc(node=self.node)
             self._ack(version, "duplicate", now)
             return
         if payload["mode"] == "delta":
-            if payload.get("base") != self.applied_version:
-                # Delta against a base we never applied (lost push or
-                # cold restart): ask for a full manifest instead.
+            if self._needs_resync or payload.get("base") != self.applied_version:
+                # Delta against a base we never applied (lost push,
+                # cold restart), or a warm restart whose on-disk state
+                # must not be trusted as a delta base: ask for a full
+                # manifest instead.
                 self.stats.resyncs_requested += 1
                 self._ack(version, "resync", now)
                 return
             new_manifest = apply_manifest_delta(self.manifest, payload["data"])
         else:
             new_manifest = manifest_from_dict(payload["data"])
-        if self.applied_version >= 0:
+        if self.applied_version >= 0 and not new_manifest.same_ranges(
+            self.manifest
+        ):
             # §5 dual-manifest window: retain the old responsibilities
-            # for existing connections until they expire.
+            # for existing connections until they expire.  A content-
+            # identical push (version bump only) opens no window —
+            # there is nothing to hand over.
             self.retiring = (self.manifest, now + self.config.transition_window)
         self.manifest = new_manifest
         self.applied_version = version
+        if version > self.known_version:
+            self.known_version = version
+        self._needs_resync = False
         self.stats.updates_applied += 1
         self._ack(version, "applied", now)
 
@@ -216,8 +398,17 @@ class Agent:
     def responsible_for_new(
         self, class_name: str, key: UnitKey, hash_value: float
     ) -> bool:
-        """Should this node take on a NEW connection? (new manifest)"""
-        return self.alive and self.manifest.contains(class_name, key, hash_value)
+        """Should this node take on a NEW connection? (new manifest)
+
+        While degraded the coordinated manifest is not consulted at
+        all: the node answers from the edge-only stance, taking every
+        session it is an endpoint of.
+        """
+        if not self.alive:
+            return False
+        if self.degraded:
+            return self._edge_responsible(key)
+        return self.manifest.contains(class_name, key, hash_value)
 
     def responsible_for_existing(
         self, class_name: str, key: UnitKey, hash_value: float
@@ -226,9 +417,15 @@ class Agent:
 
         Union of the current and retiring manifests, exactly like
         :meth:`repro.core.reconfigure.TransitionPlan.responsible_for_existing`.
+        Degraded, the answer is the edge-only stance — the stale
+        manifest is refused for existing connections too, because the
+        ranges it cedes to other nodes can no longer be trusted to be
+        picked up by anyone.
         """
         if not self.alive:
             return False
+        if self.degraded:
+            return self._edge_responsible(key)
         if self.manifest.contains(class_name, key, hash_value):
             return True
         return self.retiring is not None and self.retiring[0].contains(
@@ -259,6 +456,10 @@ class Agent:
 
         if not self.alive:
             return np.zeros(len(hash_values), dtype=bool)
+        if self.degraded:
+            return np.full(
+                len(hash_values), self._edge_responsible(key), dtype=bool
+            )
         return self._index_for(self.manifest, retiring=False).contains_batch(
             class_name, key, hash_values
         )
@@ -272,6 +473,10 @@ class Agent:
 
         if not self.alive:
             return np.zeros(len(hash_values), dtype=bool)
+        if self.degraded:
+            return np.full(
+                len(hash_values), self._edge_responsible(key), dtype=bool
+            )
         mask = self._index_for(self.manifest, retiring=False).contains_batch(
             class_name, key, hash_values
         )

@@ -134,8 +134,27 @@ class Bus:
             deliver_at=now + delay,
             seq=self._seq,
         )
+        return self._admit(message, now)
+
+    def _admit(self, message: Message, now: float) -> Optional[Message]:
+        """Place an already-built message into the channel.
+
+        Extension point for fault injection: a subclass may drop the
+        message (return ``None``), retime it, or enqueue duplicates —
+        see :class:`repro.control.chaos.ChaosBus`.  The base channel
+        admits everything unchanged.
+        """
         self._in_flight.append(message)
         return message
+
+    def _drop_admitted(self, message: Message) -> None:
+        """Account an admitted-then-dropped message as channel loss."""
+        self.stats.dropped += 1
+        self.registry.counter(
+            "bus_dropped_total",
+            "control-plane messages lost in the channel",
+            labels=("kind",),
+        ).inc(kind=message.kind)
 
     def deliver(self, dst: str, now: float) -> List[Message]:
         """Messages for *dst* whose delivery time has arrived.

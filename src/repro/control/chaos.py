@@ -1,0 +1,863 @@
+"""Chaos injection and invariant monitoring for the coordination plane.
+
+The scripted scenarios (:mod:`repro.control.scenarios`) exercise clean
+crashes and uniform message loss.  This module subjects the same
+controller–agent runtime to *adversarial* fault schedules — the kind
+distributed-NIDS deployments actually face — and proves, per epoch,
+that graceful degradation holds the paper's coverage guarantees
+(``docs/fault_model.md``):
+
+* a deterministic, seeded :class:`FaultPlan` of timed
+  :class:`FaultEvent` s: asymmetric partitions, loss and delay bursts,
+  message duplication, reordering beyond channel jitter, agent
+  crash/warm-restart-with-stale-epoch, controller outage windows;
+* :class:`ChaosBus`, a :class:`~repro.control.bus.Bus` subclass that
+  applies the plan's channel faults to every admitted message via the
+  ``_admit`` extension point (process faults — crashes, controller
+  outages — are applied by the runner);
+* :class:`InvariantMonitor`, which checks after every epoch that
+  (1) no session whose edge-only baseline would cover it goes
+  unanalyzed outside a declared transition window, (2) no stale-epoch
+  manifest is served past its lease, and (3) the plane reconverges to
+  a coordinated configuration within a bounded number of epochs after
+  the last fault heals;
+* :func:`run_chaos`, the epoch driver scoring a run the way
+  :func:`~repro.control.scenarios.run_scenario` does, exposed as
+  ``repro control chaos``.
+
+All randomness is seeded (REP002): the same plan, seed, and topology
+replay the exact same fault schedule, so a CI failure is reproducible
+locally with the seed it prints.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.units import build_units, unit_key_for_session
+from ..hashing.keys import key_hash_unit
+from ..hashing.ranges import HashRange
+from ..measurement.flows import FlowExporter
+from ..nids.modules import STANDARD_MODULES
+from ..nids.modules.base import ModuleSpec
+from ..obs import MetricsRegistry, NULL_REGISTRY, use_registry
+from ..topology import PathSet, by_label
+from ..traffic.dynamics import DiurnalBurstModel
+from ..traffic.session import Session
+from .agent import Agent, AgentConfig
+from .bus import Bus, BusConfig, BusStats, Message
+from .controller import Controller, ControllerConfig, ControllerStats
+from .epochs import EpochRecord, coverage_metrics
+from .scenarios import (
+    COVERAGE_FLOOR,
+    ScenarioConfig,
+    session_pools,
+)
+
+#: Fault kinds the channel layer applies per admitted message.
+CHANNEL_FAULTS = ("partition", "loss_burst", "delay_burst", "duplicate", "reorder")
+#: Fault kinds the epoch runner applies to processes.
+PROCESS_FAULTS = ("crash", "controller_down")
+FAULT_KINDS = CHANNEL_FAULTS + PROCESS_FAULTS
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault, active over ``[start, end)`` scenario seconds.
+
+    Field use by kind:
+
+    * ``partition`` — drop messages from *src* to *dst* (either may be
+      ``None`` = any): an asymmetric partition drops one direction only.
+    * ``loss_burst`` — drop each message with probability *rate*.
+    * ``delay_burst`` — delay every message by *delay* extra seconds.
+    * ``duplicate`` — with probability *rate*, deliver a second copy
+      *delay* seconds after the original.
+    * ``reorder`` — with probability *rate*, hold a message back by
+      *delay* seconds (beyond channel jitter), overtaking later sends.
+    * ``crash`` — *node*'s NIDS process dies at *start* and restarts at
+      *end*; ``warm=True`` restarts it holding its pre-crash manifest.
+    * ``controller_down`` — the operations center is down: it takes no
+      epoch beats and messages addressed to it are lost.
+    """
+
+    kind: str
+    start: float
+    end: float
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    node: Optional[str] = None
+    rate: float = 0.0
+    delay: float = 0.0
+    warm: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}"
+            )
+        if not self.start < self.end:
+            raise ValueError(f"fault window must satisfy start < end, got "
+                             f"[{self.start}, {self.end})")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.delay < 0.0:
+            raise ValueError(f"delay must be non-negative, got {self.delay}")
+        if self.kind == "crash" and not self.node:
+            raise ValueError("crash fault needs a node")
+        if self.kind in ("loss_burst", "duplicate", "reorder") and self.rate <= 0:
+            raise ValueError(f"{self.kind} fault needs rate > 0")
+        if self.kind in ("delay_burst", "reorder") and self.delay <= 0:
+            raise ValueError(f"{self.kind} fault needs delay > 0")
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, validated schedule of fault events."""
+
+    name: str
+    events: Tuple[FaultEvent, ...]
+
+    def __post_init__(self) -> None:
+        crashed: Set[str] = set()
+        for event in self.events:
+            if event.kind == "crash":
+                if event.node in crashed:
+                    raise ValueError(
+                        f"plan {self.name!r}: node {event.node!r} has"
+                        " overlapping crash events"
+                    )
+                crashed.add(event.node)
+
+    @property
+    def heal_time(self) -> float:
+        """When the last fault window closes (0.0 for an empty plan)."""
+        return max((event.end for event in self.events), default=0.0)
+
+    def controller_down(self, now: float) -> bool:
+        return any(
+            e.kind == "controller_down" and e.active(now) for e in self.events
+        )
+
+    def channel_events(self, now: float) -> List[FaultEvent]:
+        return [
+            e
+            for e in self.events
+            if e.kind in CHANNEL_FAULTS + ("controller_down",) and e.active(now)
+        ]
+
+    def crash_events(self) -> List[FaultEvent]:
+        return [e for e in self.events if e.kind == "crash"]
+
+
+class ChaosBus(Bus):
+    """A :class:`Bus` whose channel executes a :class:`FaultPlan`.
+
+    Only the ``_admit`` extension point is overridden: the base class
+    still accounts every send and applies its own (uniform) loss and
+    jitter first; the chaos layer then decides the admitted message's
+    fate.  All chaos randomness comes from a dedicated seeded RNG, so
+    the fault schedule replays identically for a given seed regardless
+    of how much base-channel randomness was consumed.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        config: Optional[BusConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+        chaos_seed: int = 0,
+        controller: str = "controller",
+    ):
+        super().__init__(config, registry)
+        self.plan = plan
+        self.controller_name = controller
+        self._chaos_rng = random.Random(chaos_seed ^ 0x5EED)
+        # Pre-declared so a fault-free run still exports the family.
+        self._injected = self.registry.counter(
+            "chaos_injected_total",
+            "fault-plan interventions applied to admitted messages",
+            labels=("fault",),
+        )
+
+    def _matches_partition(self, event: FaultEvent, message: Message) -> bool:
+        return (event.src is None or event.src == message.src) and (
+            event.dst is None or event.dst == message.dst
+        )
+
+    def _admit(self, message: Message, now: float) -> Optional[Message]:
+        rng = self._chaos_rng
+        for event in self.plan.channel_events(now):
+            kind = event.kind
+            if kind == "partition":
+                if self._matches_partition(event, message):
+                    self._injected.inc(fault="partition")
+                    self._drop_admitted(message)
+                    return None
+            elif kind == "controller_down":
+                # A dead process receives nothing; its own sends are
+                # suppressed by the runner not stepping it.
+                if message.dst == self.controller_name:
+                    self._injected.inc(fault="controller_down")
+                    self._drop_admitted(message)
+                    return None
+            elif kind == "loss_burst":
+                if rng.random() < event.rate:
+                    self._injected.inc(fault="loss_burst")
+                    self._drop_admitted(message)
+                    return None
+            elif kind == "delay_burst":
+                self._injected.inc(fault="delay_burst")
+                message = dataclasses.replace(
+                    message, deliver_at=message.deliver_at + event.delay
+                )
+            elif kind == "reorder":
+                if rng.random() < event.rate:
+                    # Held back past messages sent after it — reordering
+                    # beyond anything channel jitter produces.
+                    self._injected.inc(fault="reorder")
+                    message = dataclasses.replace(
+                        message, deliver_at=message.deliver_at + event.delay
+                    )
+            elif kind == "duplicate":
+                if rng.random() < event.rate:
+                    self._injected.inc(fault="duplicate")
+                    self._seq += 1
+                    copy = dataclasses.replace(
+                        message,
+                        deliver_at=message.deliver_at + max(event.delay, 0.01),
+                        seq=self._seq,
+                    )
+                    self._in_flight.append(copy)
+        return super()._admit(message, now)
+
+
+# ---------------------------------------------------------------------------
+# Named plans
+
+
+def _controller_outage(epochs: int, nodes: Sequence[str], rng: random.Random
+                       ) -> Tuple[FaultEvent, ...]:
+    """The acceptance-criterion plan: a total operations-center outage
+    long enough that every agent's lease expires mid-window."""
+    start = 4.0
+    end = min(float(epochs) - 6.0, start + 5.0)
+    return (FaultEvent(kind="controller_down", start=start, end=end),)
+
+
+def _asym_partition(epochs: int, nodes: Sequence[str], rng: random.Random
+                    ) -> Tuple[FaultEvent, ...]:
+    """Controller→agent direction cut only: the agent's heartbeats
+    still arrive (so it is never declared dead) but it hears no
+    renewals — the lease is what turns this silent staleness into
+    explicit edge-only fallback."""
+    node = rng.choice(sorted(nodes))
+    return (
+        FaultEvent(
+            kind="partition", start=4.0, end=min(float(epochs) - 6.0, 9.0),
+            src="controller", dst=node,
+        ),
+    )
+
+
+def _agent_restart_stale(epochs: int, nodes: Sequence[str], rng: random.Random
+                         ) -> Tuple[FaultEvent, ...]:
+    """Crash an agent and warm-restart it holding its pre-crash
+    manifest, under duplicated delivery — the §5 recovery-with-stale-
+    state case plus idempotency stress."""
+    node = rng.choice(sorted(nodes))
+    return (
+        FaultEvent(kind="crash", start=4.0, end=7.0, node=node, warm=True),
+        FaultEvent(kind="duplicate", start=3.0, end=min(float(epochs) - 6.0, 10.0),
+                   rate=0.5, delay=0.12),
+    )
+
+
+def _lossy_burst(epochs: int, nodes: Sequence[str], rng: random.Random
+                 ) -> Tuple[FaultEvent, ...]:
+    """Correlated channel degradation: a loss burst overlapping delay,
+    duplication, and reordering windows."""
+    end = min(float(epochs) - 6.0, 9.0)
+    return (
+        FaultEvent(kind="loss_burst", start=4.0, end=end, rate=0.3),
+        FaultEvent(kind="delay_burst", start=4.5, end=end, delay=0.1),
+        FaultEvent(kind="duplicate", start=4.0, end=end, rate=0.3, delay=0.15),
+        FaultEvent(kind="reorder", start=4.0, end=end, rate=0.3, delay=0.3),
+    )
+
+
+NAMED_PLANS = {
+    "controller-outage": _controller_outage,
+    "asym-partition": _asym_partition,
+    "agent-restart-stale": _agent_restart_stale,
+    "lossy-burst": _lossy_burst,
+}
+
+
+def random_fault_plan(
+    seed: int, epochs: int, nodes: Sequence[str]
+) -> FaultPlan:
+    """A seeded adversarial schedule of 2–4 faults.
+
+    Windows all close by ``epochs - 5`` so every plan leaves room for
+    the reconvergence invariant to be judged.
+    """
+    rng = random.Random(seed)
+    horizon = float(epochs) - 5.0
+    if horizon <= 3.0:
+        raise ValueError(
+            f"need at least 9 epochs for a random plan, got {epochs}"
+        )
+    ordered = sorted(nodes)
+    events: List[FaultEvent] = []
+    crashed: Set[str] = set()
+    for _ in range(rng.randint(2, 4)):
+        start = round(rng.uniform(2.0, horizon - 1.5), 2)
+        end = round(min(horizon, start + rng.uniform(1.0, 4.0)), 2)
+        kind = rng.choice(
+            ("partition", "loss_burst", "delay_burst", "duplicate",
+             "reorder", "crash", "controller_down")
+        )
+        if kind == "partition":
+            events.append(FaultEvent(
+                kind=kind, start=start, end=end,
+                src="controller", dst=rng.choice(ordered),
+            ))
+        elif kind == "loss_burst":
+            events.append(FaultEvent(
+                kind=kind, start=start, end=end,
+                rate=round(rng.uniform(0.1, 0.4), 2),
+            ))
+        elif kind == "delay_burst":
+            events.append(FaultEvent(
+                kind=kind, start=start, end=end,
+                delay=round(rng.uniform(0.05, 0.2), 2),
+            ))
+        elif kind == "duplicate":
+            events.append(FaultEvent(
+                kind=kind, start=start, end=end,
+                rate=round(rng.uniform(0.2, 0.6), 2),
+                delay=round(rng.uniform(0.05, 0.3), 2),
+            ))
+        elif kind == "reorder":
+            events.append(FaultEvent(
+                kind=kind, start=start, end=end,
+                rate=round(rng.uniform(0.2, 0.5), 2),
+                delay=round(rng.uniform(0.2, 0.5), 2),
+            ))
+        elif kind == "crash":
+            candidates = [n for n in ordered if n not in crashed]
+            if not candidates:
+                continue
+            node = rng.choice(candidates)
+            crashed.add(node)
+            events.append(FaultEvent(
+                kind=kind, start=start, end=end, node=node,
+                warm=rng.random() < 0.5,
+            ))
+        else:  # controller_down
+            events.append(FaultEvent(kind=kind, start=start, end=end))
+    return FaultPlan(name=f"random-{seed}", events=tuple(events))
+
+
+def build_plan(
+    name: str, seed: int, epochs: int, nodes: Sequence[str]
+) -> FaultPlan:
+    """Resolve a plan by name (``random`` uses *seed* as schedule)."""
+    if name == "random":
+        return random_fault_plan(seed, epochs, nodes)
+    try:
+        factory = NAMED_PLANS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown plan {name!r}; choose from"
+            f" {sorted(NAMED_PLANS) + ['random']}"
+        ) from None
+    if epochs < 14:
+        raise ValueError(f"named plans need >= 14 epochs, got {epochs}")
+    return FaultPlan(
+        name=name, events=factory(epochs, nodes, random.Random(seed))
+    )
+
+
+# ---------------------------------------------------------------------------
+# Invariant monitor
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One broken runtime guarantee, attributed to an epoch."""
+
+    epoch: int
+    rule: str  # "coverage-floor" | "stale-lease" | "reconvergence"
+    detail: str
+
+    def __str__(self) -> str:
+        return f"epoch {self.epoch} [{self.rule}]: {self.detail}"
+
+
+@dataclass
+class ChaosEpochRecord:
+    """One chaos epoch: the plane's record plus ground-truth verdicts."""
+
+    record: EpochRecord
+    #: Live agents in edge-only fallback at epoch end.
+    degraded_nodes: Tuple[str, ...] = ()
+    controller_down: bool = False
+    #: Epoch excluded from the coverage-floor assertion (declared
+    #: transition window — see ``docs/fault_model.md``).
+    excluded: bool = False
+    #: (module, session) pairs the edge-only baseline would cover.
+    baseline_pairs: int = 0
+    #: Of those, pairs no live agent actually analyzed.
+    uncovered_pairs: int = 0
+
+
+class InvariantMonitor:
+    """Per-epoch runtime assertions over the live agent/controller state.
+
+    * **coverage-floor** — every (module, session) pair that the
+      edge-only baseline deployment would analyze (some live node is an
+      endpoint of its unit) is analyzed by at least one live agent,
+      outside declared transition windows.
+    * **stale-lease** — no live agent serves a coordinated manifest
+      past its lease: lease expired ⇒ the agent is degraded.
+    * **reconvergence** — within ``reconverge_epochs`` of the plan's
+      heal time there is an epoch with no degradation, no fencing, no
+      unsynced live node, and coverage at the scenario floor.
+    """
+
+    def __init__(
+        self,
+        modules: Sequence[ModuleSpec],
+        registry: MetricsRegistry = NULL_REGISTRY,
+    ):
+        self.modules = list(modules)
+        self.violations: List[InvariantViolation] = []
+        self._counter = registry.counter(
+            "chaos_invariant_violations_total",
+            "runtime invariant violations observed by the chaos monitor",
+            labels=("rule",),
+        )
+
+    def _violate(self, epoch: int, rule: str, detail: str) -> None:
+        self.violations.append(InvariantViolation(epoch, rule, detail))
+        self._counter.inc(rule=rule)
+
+    # -- per-epoch checks -------------------------------------------------
+    def coverage_floor(
+        self,
+        epoch: int,
+        sessions: Sequence[Session],
+        agents: Dict[str, Agent],
+        excluded: bool,
+    ) -> Tuple[int, int]:
+        """Count baseline-covered and baseline-covered-but-unanalyzed
+        (module, session) pairs; record a violation when the latter is
+        non-zero outside a transition window."""
+        baseline = 0
+        uncovered = 0
+        agent_list = list(agents.values())
+        for spec in self.modules:
+            for session in sessions:
+                if not spec.traffic_filter.matches_session(session):
+                    continue
+                key = unit_key_for_session(spec, session)
+                if not any(
+                    agents[n].alive for n in key if n in agents
+                ):
+                    continue  # baseline itself cannot observe it
+                baseline += 1
+                t = session.tuple
+                h = key_hash_unit(
+                    spec.aggregation, t.src, t.dst, t.sport, t.dport, t.proto
+                )
+                if not any(
+                    agent.responsible_for_new(spec.name, key, h)
+                    for agent in agent_list
+                ):
+                    uncovered += 1
+        # Tolerance mirrors the scenario COVERAGE_FLOOR: sessions whose
+        # unit keys post-date the last re-plan are uncoverable by any
+        # coordinated manifest until the next epoch's plan (planning
+        # lag, not a fault) — while a real degradation failure uncovers
+        # a large fraction at once.
+        if uncovered > (1.0 - COVERAGE_FLOOR) * baseline and not excluded:
+            self._violate(
+                epoch,
+                "coverage-floor",
+                f"{uncovered}/{baseline} baseline-covered (module, session)"
+                " pairs unanalyzed outside a transition window",
+            )
+        return baseline, uncovered
+
+    def stale_leases(
+        self, epoch: int, now: float, agents: Dict[str, Agent]
+    ) -> None:
+        """A lease that lapsed must have forced edge-only fallback."""
+        for node, agent in agents.items():
+            if not agent.alive or agent.config.lease_ttl is None:
+                continue
+            if (
+                not agent.degraded
+                and agent.applied_version >= 0
+                and not agent.lease_valid(now)
+            ):
+                self._violate(
+                    epoch,
+                    "stale-lease",
+                    f"{node} serves manifest v{agent.applied_version} with"
+                    f" lease expired at {agent.lease_expires_at:.2f}"
+                    f" (now {now:.2f})",
+                )
+
+    # -- end-of-run check -------------------------------------------------
+    def reconvergence(
+        self,
+        chaos_records: Sequence[ChaosEpochRecord],
+        heal_epoch: int,
+        budget: int,
+    ) -> None:
+        """The plane must settle within *budget* epochs of heal time."""
+        deadline = heal_epoch + budget
+        for chaos_record in chaos_records:
+            record = chaos_record.record
+            if record.epoch < heal_epoch:
+                continue
+            if (
+                record.converged
+                and not chaos_record.degraded_nodes
+                and not record.fenced_nodes
+                and not chaos_record.controller_down
+                and record.coverage >= COVERAGE_FLOOR
+            ):
+                if record.epoch > deadline:
+                    self._violate(
+                        record.epoch,
+                        "reconvergence",
+                        f"first settled epoch {record.epoch} is past the"
+                        f" deadline {deadline} (heal {heal_epoch}, budget"
+                        f" {budget})",
+                    )
+                return
+        last = chaos_records[-1].record.epoch if chaos_records else heal_epoch
+        self._violate(
+            last,
+            "reconvergence",
+            f"never settled after heal epoch {heal_epoch}"
+            f" (deadline {deadline})",
+        )
+
+
+# ---------------------------------------------------------------------------
+# Chaos runner
+
+
+@dataclass
+class ChaosConfig:
+    """One chaos run: a scenario-shaped base plus a fault plan."""
+
+    plan: FaultPlan
+    topology: str = "Internet2"
+    epochs: int = 18
+    base_sessions: int = 600
+    profile: str = "mixed"
+    seed: int = 7
+    latency: float = 0.05
+    jitter: float = 0.02
+    loss_rate: float = 0.0
+    heartbeat_timeout: float = 2.2
+    transition_window: float = 2.0
+    resolve_every: int = 0
+    #: Epoch-lease TTL: over two epochs, so two consecutive lost
+    #: renewal beats do not trigger spurious degradation, but a real
+    #: outage fences every agent well before the plan heals.
+    lease_ttl: float = 2.5
+    #: Epochs allowed between the last fault healing and a settled,
+    #: fully coordinated configuration.
+    reconverge_epochs: int = 4
+
+    def __post_init__(self) -> None:
+        if self.lease_ttl <= 0:
+            raise ValueError("chaos runs require a positive lease_ttl")
+        if self.epochs < self.plan.heal_time + 2:
+            raise ValueError(
+                f"plan {self.plan.name!r} heals at"
+                f" {self.plan.heal_time:.1f} but the run is only"
+                f" {self.epochs} epochs"
+            )
+
+
+@dataclass
+class ChaosResult:
+    """Everything observed across one chaos run."""
+
+    config: ChaosConfig
+    records: List[ChaosEpochRecord]
+    violations: List[InvariantViolation]
+    #: Epoch at which the first agent entered edge-only fallback.
+    first_degraded_epoch: Optional[int] = None
+    #: Epoch of the first settled (fully coordinated) state at or
+    #: after the plan's heal time.
+    reconverged_epoch: Optional[int] = None
+    bus_stats: Optional[BusStats] = None
+    controller_stats: Optional[ControllerStats] = None
+
+    def check_acceptance(self) -> List[str]:
+        """Human-readable invariant violations (empty = pass)."""
+        return [str(violation) for violation in self.violations]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _edge_manifests(
+    agents: Dict[str, Agent], units
+) -> Dict[str, object]:
+    """Effective manifests for coverage accounting: a degraded agent
+    serves its edge-only stance, not its (distrusted) manifest."""
+    effective = {}
+    full = (HashRange(0.0, 1.0),)
+    for node, agent in agents.items():
+        if not agent.alive:
+            continue
+        if not agent.degraded:
+            effective[node] = agent.manifest
+            continue
+        entries = {
+            (unit.class_name, unit.key): full
+            for unit in units
+            if node in unit.key
+        }
+        effective[node] = dataclasses.replace(
+            agent.manifest, entries=entries, full=False
+        )
+    return effective
+
+
+def run_chaos(
+    config: ChaosConfig,
+    registry: Optional[MetricsRegistry] = None,
+) -> ChaosResult:
+    """Execute the fault plan against a live coordination plane and
+    judge every epoch with the invariant monitor."""
+    if registry is not None and registry.enabled:
+        with use_registry(registry):
+            return _run_chaos(config, registry)
+    return _run_chaos(config, NULL_REGISTRY)
+
+
+def _run_chaos(config: ChaosConfig, registry: MetricsRegistry) -> ChaosResult:
+    topology = by_label(config.topology).set_uniform_capacities(cpu=1.0, mem=1.0)
+    known = set(topology.node_names)
+    for event in config.plan.events:
+        for name in (event.node, event.dst if event.dst else None):
+            if name is not None and name != "controller" and name not in known:
+                raise ValueError(
+                    f"plan references unknown node {name!r};"
+                    f" {config.topology} nodes are {sorted(known)}"
+                )
+    paths = PathSet(topology)
+    modules = list(STANDARD_MODULES)
+
+    bus = ChaosBus(
+        config.plan,
+        BusConfig(
+            latency=config.latency,
+            jitter=config.jitter,
+            loss_rate=config.loss_rate,
+            seed=config.seed,
+        ),
+        registry=registry,
+        chaos_seed=config.seed,
+    )
+    controller = Controller(
+        topology,
+        paths,
+        modules,
+        bus,
+        ControllerConfig(
+            heartbeat_timeout=config.heartbeat_timeout,
+            resolve_every=config.resolve_every,
+            lease_ttl=config.lease_ttl,
+            retry_seed=config.seed,
+        ),
+        registry=registry,
+    )
+    agent_config = AgentConfig(
+        transition_window=config.transition_window,
+        lease_ttl=config.lease_ttl,
+    )
+    agents: Dict[str, Agent] = {}
+    for index, node in enumerate(topology.node_names):
+        agents[node] = Agent(
+            node,
+            bus,
+            exporter=FlowExporter(seed=config.seed + index),
+            config=agent_config,
+            registry=registry,
+        )
+
+    volume_model = DiurnalBurstModel(
+        base_sessions=config.base_sessions, seed=config.seed
+    )
+    volumes = volume_model.series(config.epochs)
+    pools = session_pools(
+        ScenarioConfig(
+            topology=config.topology,
+            profile=config.profile,
+            seed=config.seed,
+        ),
+        topology,
+        paths,
+        max(volumes),
+    )
+
+    crashes_by_epoch: Dict[int, List[FaultEvent]] = defaultdict(list)
+    restarts_by_epoch: Dict[int, List[FaultEvent]] = defaultdict(list)
+    for event in config.plan.crash_events():
+        crashes_by_epoch[int(math.floor(event.start))].append(event)
+        restarts_by_epoch[int(math.ceil(event.end))].append(event)
+
+    monitor = InvariantMonitor(modules, registry=registry)
+    result = ChaosResult(config=config, records=[], violations=monitor.violations)
+
+    for epoch in range(config.epochs):
+        t = float(epoch)
+        for event in crashes_by_epoch.get(epoch, []):
+            agents[event.node].crash()
+        for event in restarts_by_epoch.get(epoch, []):
+            agents[event.node].recover(warm=event.warm)
+
+        sessions = pools[config.profile][: volumes[epoch]]
+        by_ingress: Dict[str, List[Session]] = defaultdict(list)
+        for session in sessions:
+            by_ingress[session.ingress].append(session)
+
+        controller_up = not (
+            config.plan.controller_down(t + 0.25)
+            or config.plan.controller_down(t + 0.75)
+        )
+
+        for node, agent in agents.items():
+            agent.step(t, sessions=by_ingress.get(node, []))
+        if controller_up:
+            controller.step(t + 0.25)
+        for agent in agents.values():
+            agent.step(t + 0.5)
+        if controller_up:
+            record = controller.finish_epoch(t + 0.75)
+        else:
+            record = EpochRecord(epoch=epoch, time=t)
+            record.failed_nodes = tuple(sorted(controller.monitor.failed))
+            record.fenced_nodes = tuple(sorted(controller.fenced))
+            record.config_version = controller.version
+            record.converged = not controller.unsynced_live_nodes()
+        record.sessions = len(sessions)
+
+        # Ground-truth coverage over what agents actually *serve*:
+        # degraded agents answer edge-only, not from their manifest.
+        truth_units = build_units(modules, sessions, paths)
+        live = {node for node, agent in agents.items() if agent.alive}
+        served = _edge_manifests(agents, truth_units)
+        summary = coverage_metrics(truth_units, served, live)
+        record.coverage = summary.coverage
+        record.min_unit_coverage = summary.min_unit_coverage
+        record.orphaned_fraction = summary.orphaned_fraction
+        registry.gauge(
+            "epoch_coverage",
+            "ground-truth volume-weighted coverage of the latest epoch",
+        ).set(record.coverage)
+
+        degraded = tuple(
+            sorted(
+                node for node, agent in agents.items()
+                if agent.alive and agent.degraded
+            )
+        )
+        if degraded and result.first_degraded_epoch is None:
+            result.first_degraded_epoch = epoch
+
+        # Transition windows excluded from the coverage-floor check
+        # (docs/fault_model.md): a configuration still propagating, a
+        # crashed node's ranges not yet repaired away, an expired agent
+        # the controller has not yet fenced, or an outage epoch where
+        # agents are (by design) serving lease-sanctioned *stale*
+        # configuration — the controller cannot react to traffic drift
+        # while down, and that bounded staleness is exactly what the
+        # lease TTL prices in.  Once the leases expire, the whole plane
+        # degrades atomically (absolute expiry) and the floor IS
+        # asserted on every all-degraded outage epoch.
+        failure_unrepaired = any(
+            not agent.alive
+            and controller.manifests.get(node) is not None
+            and controller.manifests[node].entries
+            for node, agent in agents.items()
+        )
+        fence_pending = any(
+            node not in controller.fenced
+            for node in degraded
+        ) and controller_up
+        mixed_versions = (
+            len(
+                {
+                    agent.applied_version
+                    for agent in agents.values()
+                    if agent.alive and not agent.degraded
+                }
+            )
+            > 1
+        )
+        stale_leased = (not controller_up) and any(
+            agent.alive and not agent.degraded for agent in agents.values()
+        )
+        excluded = (
+            (not record.converged)
+            or failure_unrepaired
+            or fence_pending
+            or mixed_versions
+            or stale_leased
+        )
+        record.in_transition = excluded
+
+        baseline, uncovered = monitor.coverage_floor(
+            epoch, sessions, agents, excluded
+        )
+        monitor.stale_leases(epoch, t + 0.5, agents)
+
+        chaos_record = ChaosEpochRecord(
+            record=record,
+            degraded_nodes=degraded,
+            controller_down=not controller_up,
+            excluded=excluded,
+            baseline_pairs=baseline,
+            uncovered_pairs=uncovered,
+        )
+        result.records.append(chaos_record)
+
+        if (
+            result.reconverged_epoch is None
+            and epoch >= config.plan.heal_time
+            and record.converged
+            and not degraded
+            and not record.fenced_nodes
+            and controller_up
+            and record.coverage >= COVERAGE_FLOOR
+        ):
+            result.reconverged_epoch = epoch
+
+    heal_epoch = int(math.ceil(config.plan.heal_time))
+    monitor.reconvergence(result.records, heal_epoch, config.reconverge_epochs)
+
+    result.bus_stats = bus.stats
+    result.controller_stats = controller.stats
+    return result

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
@@ -50,6 +51,7 @@ from ..core.nids_deployment import NIDSDeployment
 from ..core.nids_lp import NIDSAssignment, solve_nids_lp
 from ..core.reconfigure import conservative_units, plan_transition
 from ..core.units import CoordinationUnit
+from ..hashing.ranges import HashRange
 from ..measurement.estimation import EstimationModel, estimate_units
 from ..measurement.flows import TrafficReport
 from ..nids.modules.base import ModuleSpec
@@ -67,6 +69,13 @@ from .failure import HeartbeatMonitor, RepairResult, repair_manifests
 
 SolveFn = Callable[[Sequence[CoordinationUnit], Topology, float], NIDSAssignment]
 
+#: Nominal wire size of a lease-renewal message.
+LEASE_BYTES = 48
+
+#: How many superseded pushes per node are remembered as potential
+#: delta bases for late acks.
+PUSH_HISTORY_LIMIT = 8
+
 
 @dataclass
 class ControllerConfig:
@@ -77,10 +86,23 @@ class ControllerConfig:
     #: Silence after which a node is declared failed (> 2 heartbeat
     #: intervals so a single lost heartbeat is not a false positive).
     heartbeat_timeout: float = 2.2
-    #: Resend an unacknowledged push after this long.  Below half an
-    #: epoch so both controller beats (decision at ``t+0.25``, ack
-    #: collection at ``t+0.75``) can retry a lost push.
-    retry_after: float = 0.45
+    #: Base delay before resending an unacknowledged push (the first
+    #: retry).  Below half an epoch so both controller beats (decision
+    #: at ``t+0.25``, ack collection at ``t+0.75``) can retry a lost
+    #: push — the two-beat schedule is preserved because the first
+    #: retry is never jittered.
+    retry_backoff: float = 0.45
+    #: Ceiling on the exponential retry delay.
+    retry_backoff_cap: float = 3.6
+    #: Fractional jitter applied (downward) from the second retry on,
+    #: de-synchronizing retry storms across agents after an outage.
+    retry_jitter: float = 0.25
+    #: Seed for the retry-jitter RNG (REP002: no unseeded randomness).
+    retry_seed: int = 0
+    #: Epoch-lease TTL handed to agents; ``None`` disables leases (the
+    #: pre-hardening behaviour).  Must exceed the epoch duration so a
+    #: healthy controller renews well before expiry.
+    lease_ttl: Optional[float] = None
     #: Relative L1 drift of per-class volumes that triggers a re-solve.
     drift_threshold: float = 0.2
     #: Re-solve at least every this many epochs regardless of drift
@@ -112,6 +134,10 @@ class PushState:
     first_sent: float
     last_sent: float
     acked_at: Optional[float] = None
+    #: Retransmissions so far (0 = only the initial send).
+    attempts: int = 0
+    #: Absolute time after which the next retransmission is due.
+    next_retry_at: float = 0.0
 
 
 @dataclass
@@ -127,6 +153,10 @@ class ControllerStats:
     retries: int = 0
     push_bytes: int = 0
     full_equivalent_bytes: int = 0
+    #: Live nodes fenced after self-reporting edge-only degradation.
+    fences: int = 0
+    #: Acks for superseded epochs still credited as delta bases.
+    superseded_acks: int = 0
 
 
 def _json_size(payload: dict) -> int:
@@ -176,6 +206,14 @@ class Controller:
         self.outstanding: Dict[str, PushState] = {}
         self.needs_full: Set[str] = set()
         self._recovered: Set[str] = set()
+        #: Live nodes that self-reported edge-only degradation: treated
+        #: like failed for planning until they report healthy again.
+        self.fenced: Set[str] = set()
+        self._fence_event = False
+        #: Recently superseded pushes per node, so a late ack for an
+        #: old epoch can still establish a delta base.
+        self._pushed_history: Dict[str, List[PushState]] = {}
+        self._retry_rng = random.Random(self.config.retry_seed)
         self._reference_class_cpu: Dict[str, float] = {}
         self._last_resolve_epoch: Optional[int] = None
         # Per-epoch scratch, reset by step().
@@ -185,12 +223,24 @@ class Controller:
         # events, so every snapshot carries them (value 0 ≠ absent).
         self.registry.counter(
             "controller_push_retries_total",
-            "unacknowledged pushes retransmitted",
+            "unacknowledged pushes retransmitted, by backoff attempt",
+            labels=("attempt",),
         )
         self.registry.counter(
             "controller_repairs_total",
             "targeted failure-repair redistributions",
         )
+        if self.config.lease_ttl is not None:
+            self.registry.counter(
+                "controller_lease_fences_total",
+                "live nodes fenced after self-reporting degradation",
+                labels=("node",),
+            )
+            self.registry.counter(
+                "controller_superseded_acks_total",
+                "acknowledgements for superseded epochs credited as"
+                " delta bases",
+            )
         self.registry.counter(
             "controller_manifest_rejections_total",
             "configurations refused by the pre-distribution static"
@@ -219,16 +269,73 @@ class Controller:
                     self.acked_manifests.pop(node, None)
                     self.acked_version[node] = -1
                     self.outstanding.pop(node, None)
+                    # Pre-crash pushes must not be credited as bases.
+                    self._pushed_history.pop(node, None)
+                if self.config.lease_ttl is not None:
+                    self._track_degradation(
+                        node, bool(message.payload.get("degraded"))
+                    )
             elif message.kind == "report":
                 self.reports[message.src] = message.payload
             elif message.kind == "ack":
                 self._handle_ack(message.payload, now)
+            elif message.kind == "resync-request":
+                # Warm-restarted agent refusing its on-disk state: drop
+                # everything we believed about it and send a full
+                # manifest on the next push beat.
+                node = message.payload["node"]
+                self.needs_full.add(node)
+                self.acked_manifests.pop(node, None)
+                self.acked_version[node] = -1
+                self.outstanding.pop(node, None)
+                self._pushed_history.pop(node, None)
+
+    def _track_degradation(self, node: str, degraded: bool) -> None:
+        """Fence/unfence a live node from its self-reported lease state.
+
+        A degraded node is serving edge-only: its coordinated ranges
+        are effectively unstaffed, so it is treated like a failed node
+        for planning (fenced) until it reports healthy again — at which
+        point it re-enters through the same recovery path as a restart.
+        """
+        if degraded and node not in self.fenced:
+            self.fenced.add(node)
+            self._fence_event = True
+            self.stats.fences += 1
+            self.registry.counter(
+                "controller_lease_fences_total",
+                "live nodes fenced after self-reporting degradation",
+                labels=("node",),
+            ).inc(node=node)
+        elif not degraded and node in self.fenced:
+            self.fenced.discard(node)
+            self._recovered.add(node)
 
     def _handle_ack(self, payload: dict, now: float) -> None:
         node = payload["node"]
         state = self.outstanding.get(node)
         if state is None or payload["version"] != state.version:
-            return  # stale ack for a superseded push
+            # Ack for a superseded push.  If the agent *applied* that
+            # old epoch, remember it: it is a perfectly good delta base
+            # for the current push, sparing a full-manifest fallback.
+            if payload.get("status") == "applied":
+                for old in self._pushed_history.get(node, ()):
+                    if old.version != payload["version"]:
+                        continue
+                    if (
+                        node not in self.needs_full
+                        and self.acked_version.get(node, -1) < old.version
+                    ):
+                        self.acked_version[node] = old.version
+                        self.acked_manifests[node] = old.manifest
+                        self.stats.superseded_acks += 1
+                        self.registry.counter(
+                            "controller_superseded_acks_total",
+                            "acknowledgements for superseded epochs"
+                            " credited as delta bases",
+                        ).inc()
+                    break
+            return
         if payload["status"] == "resync":
             # The agent cannot apply our delta (lost base); switch this
             # node to full pushes and resend immediately-ish.
@@ -279,16 +386,52 @@ class Controller:
         )
         return l1 / baseline
 
+    def _unavailable(self) -> Set[str]:
+        """Nodes that must not hold coordinated responsibility: failed
+        (dead process) or fenced (alive but serving edge-only).
+
+        Exception: when *every* live node is fenced, the degradation
+        was caused by the controller's own absence rather than node
+        faults, and excluding them all would plan an empty (zero
+        coverage) configuration.  Plan over the full live set instead —
+        the resulting push re-arms each agent's lease and epoch fence
+        in one round, so they exit fallback straight into a complete
+        configuration.
+        """
+        failed = set(self.monitor.failed)
+        if any(
+            self.monitor.alive(node) and node not in self.fenced
+            for node in self.topology.node_names
+        ):
+            return failed | self.fenced
+        return failed
+
+    def _live_fenced(self) -> Set[str]:
+        return {n for n in self.fenced if self.monitor.alive(n)}
+
     def _exclude_failed(
         self, units: Sequence[CoordinationUnit]
     ) -> List[CoordinationUnit]:
-        if not self.monitor.failed:
+        unavailable = self._unavailable()
+        if not unavailable:
             return list(units)
+        live_fenced = self._live_fenced()
         surviving = []
         for unit in units:
             eligible = tuple(
-                n for n in unit.eligible if n not in self.monitor.failed
+                n for n in unit.eligible if n not in unavailable
             )
+            if not eligible:
+                # Sole-eligible holders are fenced but alive: keep the
+                # unit planned on them rather than dropping it.  A
+                # sole-eligible node is the unit's endpoint, so its
+                # edge-only fallback already analyzes the traffic while
+                # degraded — and the planned entry means coordinated
+                # service resumes the instant the node exits fallback,
+                # instead of the unit going dark in the handoff epoch.
+                eligible = tuple(
+                    n for n in unit.eligible if n in live_fenced
+                )
             if not eligible:
                 continue  # unobservable while its only nodes are down
             if eligible != unit.eligible:
@@ -373,8 +516,9 @@ class Controller:
     def _repair(self, now: float) -> None:
         """Targeted redistribution of the failed nodes' hash ranges."""
         result = repair_manifests(
-            self.manifests, self.planned_units, self.topology, self.monitor.failed
+            self.manifests, self.planned_units, self.topology, self._unavailable()
         )
+        self._restore_fenced_singletons(result)
         self.last_repair = result
         assignment = (
             self.deployment.assignment if self.deployment is not None else None
@@ -392,6 +536,39 @@ class Controller:
                 "repair_orphaned_mass",
                 "hash-space mass with no live eligible node after the last repair",
             ).set(sum(mass for _ident, mass in result.orphaned))
+
+    def _restore_fenced_singletons(self, result: RepairResult) -> None:
+        """Re-home repair-orphaned units whose only live eligible node
+        is fenced.
+
+        The repair treats fenced nodes like failed ones, so a unit
+        observable only at a fenced node comes back orphaned.  But the
+        node is *alive* — merely serving edge-only — and, being the
+        unit's sole possible observer, it is one of the unit's
+        endpoints: its fallback stance analyzes that traffic already.
+        Assigning the full hash range back to it keeps the planned
+        configuration aligned with that reality, so the unit never goes
+        dark in the epoch between the node exiting fallback and the
+        recovery re-plan.
+        """
+        live_fenced = self._live_fenced()
+        if not live_fenced or not result.orphaned:
+            return
+        units_by_ident = {unit.ident: unit for unit in self.planned_units}
+        still_orphaned: List[tuple] = []
+        for ident, mass in result.orphaned:
+            unit = units_by_ident.get(ident)
+            holders = sorted(
+                n for n in (unit.eligible if unit is not None else ())
+                if n in live_fenced
+            )
+            if not holders:
+                still_orphaned.append((ident, mass))
+                continue
+            result.manifests[holders[0]].entries[ident] = (
+                HashRange(0.0, 1.0),
+            )
+        result.orphaned[:] = still_orphaned
 
     def _adopt(
         self,
@@ -473,16 +650,25 @@ class Controller:
             if acked is not None and acked.entries == target.entries and (
                 acked.full == target.full
             ):
-                continue  # agent already holds equivalent content
+                # Agent already holds equivalent content.  With leases
+                # the version number itself is load-bearing (the epoch
+                # fence compares it against lease announcements), so
+                # the push is only satisfied once the *current* version
+                # was acknowledged.
+                if (
+                    self.config.lease_ttl is None
+                    or self.acked_version.get(node, -1) >= self.version
+                ):
+                    continue
             state = self.outstanding.get(node)
             if state is not None and state.acked_at is None:
                 if state.manifest is self.manifests[node] or (
                     state.version == self.version
                     and state.manifest.entries == target.entries
                 ):
-                    # Current push still in flight; retry if it has
-                    # gone unacknowledged for too long.
-                    if now - state.last_sent >= self.config.retry_after:
+                    # Current push still in flight; retry once its
+                    # backoff deadline passes.
+                    if now >= state.next_retry_at:
                         self._transmit(node, state, now, retry=True)
                     continue
             self._push(node, target, now)
@@ -523,6 +709,14 @@ class Controller:
             first_sent=now,
             last_sent=now,
         )
+        superseded = self.outstanding.get(node)
+        if superseded is not None:
+            # Keep a short memory of superseded pushes: a late
+            # "applied" ack for one of them still names a usable delta
+            # base (see _handle_ack).
+            history = self._pushed_history.setdefault(node, [])
+            history.append(superseded)
+            del history[:-PUSH_HISTORY_LIMIT]
         self.outstanding[node] = state
         self._transmit(node, state, now, retry=False)
         self.registry.counter(
@@ -546,28 +740,74 @@ class Controller:
         self.stats.push_bytes += size
         self.stats.full_equivalent_bytes += full_bytes
 
+    def _retry_delay(self, attempt: int) -> float:
+        """Backoff before retransmission number *attempt* (1-based).
+
+        The first retry fires after exactly ``retry_backoff`` —
+        un-jittered, so the two-beat epoch schedule (decision beat
+        sends, ack beat retries) is preserved on a healthy plane.
+        Later retries double up to ``retry_backoff_cap`` with downward
+        jitter, de-synchronizing agents during an outage.
+        """
+        if attempt <= 1:
+            return self.config.retry_backoff
+        delay = min(
+            self.config.retry_backoff_cap,
+            self.config.retry_backoff * (2.0 ** (attempt - 1)),
+        )
+        return delay * (1.0 - self.config.retry_jitter * self._retry_rng.random())
+
     def _transmit(
         self, node: str, state: PushState, now: float, retry: bool
     ) -> None:
         if retry:
+            state.attempts += 1
             self.stats.retries += 1
             self.registry.counter(
                 "controller_push_retries_total",
-                "unacknowledged pushes retransmitted",
-            ).inc()
+                "unacknowledged pushes retransmitted, by backoff attempt",
+                labels=("attempt",),
+            ).inc(attempt=str(state.attempts) if state.attempts < 6 else "6+")
             self._epoch.push_bytes += state.size_bytes
             self._epoch.full_equivalent_bytes += state.full_bytes
             self.stats.push_bytes += state.size_bytes
             self.stats.full_equivalent_bytes += state.full_bytes
         state.last_sent = now
+        state.next_retry_at = now + self._retry_delay(state.attempts + 1)
+        payload = state.payload
+        if self.config.lease_ttl is not None:
+            # Stamp a fresh lease on a copy (in-flight messages hold a
+            # reference to the payload; the wire copy must be frozen).
+            payload = dict(payload)
+            payload["lease_expires_at"] = now + self.config.lease_ttl
         self.bus.send(
             self.config.name,
             node,
             "manifest-update",
-            state.payload,
+            payload,
             state.size_bytes,
             now,
         )
+
+    def _renew_leases(self, now: float) -> None:
+        """Extend the epoch lease of every node the controller still
+        trusts.  Failed and fenced nodes are deliberately left out:
+        withholding renewal is the mechanism that forces a partitioned
+        or stale agent into edge-only fallback within one TTL."""
+        if self.config.lease_ttl is None or self.version < 0:
+            return
+        expires = now + self.config.lease_ttl
+        for node in self.topology.node_names:
+            if not self.monitor.alive(node) or node in self.fenced:
+                continue
+            self.bus.send(
+                self.config.name,
+                node,
+                "lease-renew",
+                {"version": self.version, "lease_expires_at": expires},
+                LEASE_BYTES,
+                now,
+            )
 
     # -- epoch driver -----------------------------------------------------
     def step(self, now: float) -> None:
@@ -585,6 +825,8 @@ class Controller:
                 "nodes declared failed after missed heartbeats",
                 labels=("node",),
             ).inc(node=node)
+        fence_event = self._fence_event
+        self._fence_event = False
 
         reason = ""
         if self.deployment is None:
@@ -592,7 +834,7 @@ class Controller:
                 reason = "bootstrap"
         elif self._recovered:
             reason = "recovery"
-        elif newly_failed:
+        elif newly_failed or fence_event:
             reason = "failure"
         elif self.reports:
             drift = self._drift(self._estimated_units())
@@ -611,6 +853,7 @@ class Controller:
             self._resolve(now, reason)
 
         self._sync_pushes(now)
+        self._renew_leases(now)
 
     def finish_epoch(self, now: float) -> EpochRecord:
         """Drain late acks, retry stragglers, finalize the record."""
@@ -620,8 +863,10 @@ class Controller:
         # closes, roughly doubling per-epoch convergence odds on a
         # lossy bus.
         self._sync_pushes(now)
+        self._renew_leases(now)
         record = self._epoch
         record.failed_nodes = tuple(sorted(self.monitor.failed))
+        record.fenced_nodes = tuple(sorted(self.fenced))
         record.reconfig_lag = max(self._epoch_lags, default=0.0)
         record.converged = not self.unsynced_live_nodes()
         registry = self.registry
@@ -658,13 +903,22 @@ class Controller:
                 acked.full != target.full
             ):
                 lagging.append(node)
+            elif (
+                self.config.lease_ttl is not None
+                and self.acked_version.get(node, -1) < self.version
+            ):
+                # Content matches but the agent has not yet confirmed
+                # the current epoch number — under leases it may still
+                # be fenced behind the old version.
+                lagging.append(node)
         return lagging
 
     def failure_pending(self) -> bool:
-        """Whether some crashed node's ranges are still in the active
-        configuration (crash undetected or repair not yet computed)."""
+        """Whether some crashed or fenced node's ranges are still in
+        the active configuration (failure undetected or repair not yet
+        computed)."""
         return any(
             self.manifests.get(node) is not None
             and self.manifests[node].entries
-            for node in self.monitor.failed
+            for node in self._unavailable()
         )

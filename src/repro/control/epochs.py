@@ -77,6 +77,9 @@ class EpochRecord:
     #: Whether the epoch is part of a transition window (configuration
     #: still propagating, or a failure not yet repaired).
     in_transition: bool = False
+    #: Live nodes fenced out of coordinated planning because they
+    #: self-reported edge-only degradation (lease expired).
+    fenced_nodes: Tuple[str, ...] = ()
 
 
 def merge_reports(reports: Iterable[TrafficReport]) -> TrafficReport:

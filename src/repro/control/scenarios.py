@@ -113,6 +113,9 @@ class ScenarioConfig:
     stabilize_tolerance: float = 0.02
     drift_threshold: float = 0.2
     headroom: float = 1.0
+    #: Epoch-lease TTL for graceful degradation; ``None`` (default)
+    #: runs the plane without leases, the pre-hardening behaviour.
+    lease_ttl: Optional[float] = None
     events: Tuple[ScenarioEvent, ...] = ()
 
 
@@ -212,7 +215,7 @@ class ScenarioResult:
         return not self.check_acceptance()
 
 
-def _session_pools(
+def session_pools(
     config: ScenarioConfig,
     topology,
     paths,
@@ -327,10 +330,15 @@ def _run_scenario(
             stabilize_tolerance=config.stabilize_tolerance,
             drift_threshold=config.drift_threshold,
             headroom=config.headroom,
+            lease_ttl=config.lease_ttl,
+            retry_seed=config.seed,
         ),
         registry=registry,
     )
-    agent_config = AgentConfig(transition_window=config.transition_window)
+    agent_config = AgentConfig(
+        transition_window=config.transition_window,
+        lease_ttl=config.lease_ttl,
+    )
     agents: Dict[str, Agent] = {}
     for index, node in enumerate(topology.node_names):
         agents[node] = Agent(
@@ -351,7 +359,7 @@ def _run_scenario(
         seed=config.seed,
     )
     volumes = volume_model.series(config.epochs)
-    pools = _session_pools(config, topology, paths, max(volumes))
+    pools = session_pools(config, topology, paths, max(volumes))
 
     events_by_epoch: Dict[int, List[ScenarioEvent]] = defaultdict(list)
     for event in config.events:

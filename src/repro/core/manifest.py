@@ -71,6 +71,19 @@ class NodeManifest:
             return 1.0
         return sum(r.length for r in self.entries.get((class_name, key), ()))
 
+    def same_ranges(self, other: "NodeManifest") -> bool:
+        """Whether both manifests assign identical ranges everywhere.
+
+        Content equality only — the owning node name is not compared.
+        Used by the agent to skip the §5 dual-manifest window when a
+        push changes the version but not the responsibilities.
+        """
+        if self.full or other.full:
+            return self.full == other.full
+        mine = {k: v for k, v in self.entries.items() if v}
+        theirs = {k: v for k, v in other.entries.items() if v}
+        return mine == theirs
+
     @property
     def num_entries(self) -> int:
         """Number of (class, unit) entries in the manifest."""

@@ -254,6 +254,7 @@ class ControlEpochsReport(Report):
             "reconfig_lag",
             "converged",
             "in_transition",
+            "fenced_nodes",
         )
 
     def rows(self) -> Iterable[Sequence]:
@@ -278,6 +279,7 @@ class ControlEpochsReport(Report):
                 f"{r.reconfig_lag:.4f}",
                 int(r.converged),
                 int(r.in_transition),
+                ";".join(r.fenced_nodes),
             )
 
 

@@ -319,3 +319,78 @@ class TestMetricsSnapshotReport:
 
         with pytest.raises(ValueError):
             MetricsSnapshotReport(MetricsRegistry()).to_string("xml")
+
+
+class TestRareEventFamilies:
+    """The graceful-degradation and chaos families are pre-declared at
+    construction time, so a fault-free run still exports them (a
+    missing family and a zero family must be distinguishable), and
+    recorded values survive the Prometheus round trip."""
+
+    RARE_FAMILIES = (
+        "agent_lease_expirations_total",
+        "agent_degraded_epochs_total",
+        "agent_duplicate_suppressions_total",
+        "agent_resync_requests_total",
+        "controller_lease_fences_total",
+        "controller_superseded_acks_total",
+        "chaos_injected_total",
+        "chaos_invariant_violations_total",
+    )
+
+    def _declared_registry(self):
+        from repro.control.agent import Agent, AgentConfig
+        from repro.control.bus import BusConfig
+        from repro.control.chaos import ChaosBus, FaultPlan, InvariantMonitor
+        from repro.control.controller import Controller, ControllerConfig
+        from repro.nids.modules import STANDARD_MODULES
+        from repro.topology import PathSet, by_label
+
+        registry = MetricsRegistry()
+        bus = ChaosBus(
+            FaultPlan(name="quiet", events=()),
+            BusConfig(latency=0.0),
+            registry=registry,
+        )
+        topology = by_label("Internet2")
+        Controller(
+            topology,
+            PathSet(topology),
+            list(STANDARD_MODULES),
+            bus,
+            ControllerConfig(lease_ttl=2.5),
+            registry=registry,
+        )
+        Agent(
+            "NYCM", bus, config=AgentConfig(lease_ttl=2.5), registry=registry
+        )
+        InvariantMonitor(STANDARD_MODULES, registry=registry)
+        return registry
+
+    def test_families_predeclared_without_any_fault(self):
+        registry = self._declared_registry()
+        snap = snapshot(registry)
+        text = to_prometheus(registry)
+        for name in self.RARE_FAMILIES:
+            assert name in snap["metrics"], name
+            assert f"# TYPE {name} counter" in text
+
+    def test_recorded_rare_events_round_trip(self):
+        registry = self._declared_registry()
+        registry.get("agent_lease_expirations_total").inc(node="NYCM")
+        registry.get("chaos_injected_total").inc(3, fault="partition")
+        registry.get("chaos_invariant_violations_total").inc(
+            rule="coverage-floor"
+        )
+        registry.get("controller_superseded_acks_total").inc()
+        samples = parse_prometheus(to_prometheus(registry))
+        assert samples["agent_lease_expirations_total"] == [
+            ((("node", "NYCM"),), 1.0)
+        ]
+        assert samples["chaos_injected_total"] == [
+            ((("fault", "partition"),), 3.0)
+        ]
+        assert samples["chaos_invariant_violations_total"] == [
+            ((("rule", "coverage-floor"),), 1.0)
+        ]
+        assert samples["controller_superseded_acks_total"] == [((), 1.0)]
