@@ -1,0 +1,123 @@
+"""Sweep executor benchmark: 1 worker vs N workers on a cold grid.
+
+Run directly to (re)generate ``BENCH_sweep.json`` at the repo root:
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py
+
+Measures wall time for the same 8-cell grid executed sequentially
+(``jobs=1``) and across worker processes (``jobs=min(cpu_count, 4)``),
+each into a fresh artifact cache, and verifies the two consolidated
+reports are byte-identical.  Cells are shared-nothing, so speedup
+scales with available cores; on a single-core container the parallel
+run *loses* (spawn startup with no parallelism to pay for it), which
+the JSON records honestly alongside the detected core count.  A third
+warm run replays the grid against the sequential run's cache and must
+execute zero cells.
+"""
+
+import json
+import os
+import tempfile
+import time
+
+from repro.sweep import SweepSpec, consolidate, render_report, run_sweep
+from repro.obs import MetricsRegistry
+
+#: The benchmark grid: 8 known-green cells on internet2 (2 fault
+#: conditions x 2 dynamics presets x 2 seeds), heavy enough that
+#: worker startup does not dominate.
+BENCH_SPEC = SweepSpec(
+    name="bench",
+    topologies=("internet2",),
+    plans=("none", "controller-outage"),
+    dynamics=("steady", "diurnal"),
+    redundancy=(1.0,),
+    seeds=(0, 1),
+    epochs=18,
+    base_sessions=400,
+)
+
+
+def run_sweep_benchmark(jobs: int) -> dict:
+    """Time cold sequential vs cold parallel vs warm cached runs."""
+    with tempfile.TemporaryDirectory() as seq_dir, \
+            tempfile.TemporaryDirectory() as par_dir:
+        started = time.perf_counter()
+        sequential = run_sweep(BENCH_SPEC, jobs=1, cache_dir=seq_dir)
+        sequential_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        parallel = run_sweep(BENCH_SPEC, jobs=jobs, cache_dir=par_dir)
+        parallel_seconds = time.perf_counter() - started
+
+        registry = MetricsRegistry()
+        started = time.perf_counter()
+        warm = run_sweep(
+            BENCH_SPEC, jobs=1, cache_dir=seq_dir, registry=registry
+        )
+        warm_seconds = time.perf_counter() - started
+        cache_hits = registry.get("sweep_cache_hits_total").total()
+
+    sequential_report = render_report(consolidate(sequential))
+    parallel_report = render_report(consolidate(parallel))
+    warm_report = render_report(consolidate(warm))
+    return {
+        "benchmark": "sweep-executor",
+        "note": (
+            "cells are shared-nothing, so speedup scales with physical"
+            " cores; on fewer cores than workers the pool pays spawn"
+            " startup with nothing to parallelize and speedup drops"
+            " below 1 — recorded honestly, see cores_available"
+        ),
+        "cells": len(BENCH_SPEC),
+        "epochs": BENCH_SPEC.epochs,
+        "base_sessions": BENCH_SPEC.base_sessions,
+        "cores_available": os.cpu_count(),
+        "jobs": jobs,
+        "sequential_seconds": round(sequential_seconds, 4),
+        "parallel_seconds": round(parallel_seconds, 4),
+        "speedup": round(sequential_seconds / parallel_seconds, 2),
+        "warm_rerun": {
+            "seconds": round(warm_seconds, 4),
+            "executed_cells": len(warm.executed),
+            "cache_hits": cache_hits,
+        },
+        "all_cells_green": sequential.ok and parallel.ok,
+        "reports_identical": (
+            sequential_report == parallel_report
+            and warm_report == sequential_report
+        ),
+    }
+
+
+def test_sweep_executor_smoke():
+    """CI smoke: parallel must agree byte-for-byte and cache must hit.
+
+    The ≥2.5x speedup acceptance target applies on multi-core
+    hardware (cells are shared-nothing, so it scales with cores); CI
+    runners and single-core containers cannot honestly meet it, so
+    the smoke asserts a conservative floor only when at least four
+    cores are present — correctness (byte-identical reports, full
+    cache reuse) is asserted unconditionally.
+    """
+    jobs = min(os.cpu_count() or 1, 4)
+    result = run_sweep_benchmark(jobs)
+    print(json.dumps(result, indent=2))
+    assert result["reports_identical"], "parallel report diverges"
+    assert result["all_cells_green"], result
+    assert result["warm_rerun"]["executed_cells"] == 0, result
+    assert result["warm_rerun"]["cache_hits"] == result["cells"], result
+    if (os.cpu_count() or 1) >= 4 and jobs >= 4:
+        assert result["speedup"] > 1.5, result
+
+
+if __name__ == "__main__":
+    # Always exercise the real 4-worker pool for the recorded numbers,
+    # even where cpu_count() < 4 (the speedup field then shows the
+    # single-core spawn overhead rather than a fake win).
+    result = run_sweep_benchmark(4)
+    out = os.path.join(os.path.dirname(__file__), "..", "BENCH_sweep.json")
+    with open(out, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(result, indent=2))

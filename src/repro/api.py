@@ -77,6 +77,15 @@ from .control import (
     standard_scenario,
 )
 
+# -- scenario sweeps -------------------------------------------------------
+from .sweep import (
+    SweepCell,
+    SweepSpec,
+    consolidate,
+    load_spec,
+    run_sweep,
+)
+
 # -- telemetry -------------------------------------------------------------
 from .obs import (
     MetricsRegistry,
@@ -134,6 +143,12 @@ __all__ = [
     "ScenarioResult",
     "run_scenario",
     "standard_scenario",
+    # scenario sweeps
+    "SweepCell",
+    "SweepSpec",
+    "consolidate",
+    "load_spec",
+    "run_sweep",
     # telemetry
     "MetricsRegistry",
     "NULL_REGISTRY",

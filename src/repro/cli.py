@@ -12,6 +12,9 @@ Gives operators the paper's workflow without writing Python:
 * ``online`` — FPL adaptation regret over time;
 * ``control run`` — run the controller–agent coordination plane
   through a scripted traffic-shift / failure / recovery scenario;
+* ``sweep run`` / ``status`` / ``report`` — execute a declarative
+  scenario grid across worker processes with a content-addressed
+  artifact cache, and consolidate one deterministic report;
 * ``analysis lint`` / ``analysis verify`` — domain static analysis:
   AST lint rules (REP001-REP005) and offline verification of planning
   artifacts against the deployment invariants (REP101-REP108);
@@ -23,6 +26,7 @@ Run ``python -m repro.cli <command> --help`` for per-command options.
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import sys
 from typing import List, Optional
@@ -423,6 +427,22 @@ def cmd_figures(args) -> int:
     return 0
 
 
+def add_jobs_option(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--jobs`` option (worker-process count).
+
+    Defaults to ``os.cpu_count()`` so parallel commands use the whole
+    machine unless told otherwise; every subcommand that shards work
+    across processes should take its worker count from this helper.
+    """
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=os.cpu_count() or 1,
+        help="worker processes (default: CPU count)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -567,6 +587,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="domain static analysis: AST lint + artifact verification",
     )
     configure_analysis(analysis)
+
+    from .sweep.cli import configure_parser as configure_sweep
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="sharded scenario sweeps with cached artifacts and one"
+        " consolidated report",
+    )
+    configure_sweep(sweep)
 
     figures = sub.add_parser("figures", help="write figure data as CSV artifacts")
     figures.add_argument("--output-dir", default="figures")

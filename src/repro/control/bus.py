@@ -17,6 +17,7 @@ channel.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -67,6 +68,15 @@ class BusStats:
     bytes_sent: int = 0
     sent_by_kind: Dict[str, int] = field(default_factory=dict)
     bytes_by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict of the cumulative counters."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BusStats":
+        """Rebuild stats from :meth:`to_dict` output."""
+        return cls(**data)
 
 
 class Bus:

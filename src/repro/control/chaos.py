@@ -118,6 +118,15 @@ class FaultEvent:
     def active(self, now: float) -> bool:
         return self.start <= now < self.end
 
+    def to_dict(self) -> dict:
+        """JSON-compatible dict of the fault event."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        """Rebuild an event from :meth:`to_dict` output."""
+        return cls(**data)
+
 
 @dataclass(frozen=True)
 class FaultPlan:
@@ -156,6 +165,24 @@ class FaultPlan:
 
     def crash_events(self) -> List[FaultEvent]:
         return [e for e in self.events if e.kind == "crash"]
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict of the plan and its events."""
+        return {
+            "name": self.name,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output."""
+        return cls(
+            name=data["name"],
+            events=tuple(
+                FaultEvent.from_dict(event)
+                for event in data.get("events", ())
+            ),
+        )
 
 
 class ChaosBus(Bus):
@@ -403,6 +430,15 @@ class InvariantViolation:
     def __str__(self) -> str:
         return f"epoch {self.epoch} [{self.rule}]: {self.detail}"
 
+    def to_dict(self) -> dict:
+        """JSON-compatible dict of the verdict."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "InvariantViolation":
+        """Rebuild a verdict from :meth:`to_dict` output."""
+        return cls(**data)
+
 
 @dataclass
 class ChaosEpochRecord:
@@ -419,6 +455,25 @@ class ChaosEpochRecord:
     baseline_pairs: int = 0
     #: Of those, pairs no live agent actually analyzed.
     uncovered_pairs: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict (nested record serialized too)."""
+        return {
+            "record": self.record.to_dict(),
+            "degraded_nodes": list(self.degraded_nodes),
+            "controller_down": self.controller_down,
+            "excluded": self.excluded,
+            "baseline_pairs": self.baseline_pairs,
+            "uncovered_pairs": self.uncovered_pairs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosEpochRecord":
+        """Rebuild a chaos epoch record from :meth:`to_dict` output."""
+        fields = dict(data)
+        fields["record"] = EpochRecord.from_dict(fields["record"])
+        fields["degraded_nodes"] = tuple(fields.get("degraded_nodes", ()))
+        return cls(**fields)
 
 
 class InvariantMonitor:
@@ -584,6 +639,8 @@ class ChaosConfig:
     #: Epochs allowed between the last fault healing and a settled,
     #: fully coordinated configuration.
     reconverge_epochs: int = 4
+    #: Redundancy level r the controller plans at.
+    coverage: float = 1.0
 
     def __post_init__(self) -> None:
         if self.lease_ttl <= 0:
@@ -594,6 +651,19 @@ class ChaosConfig:
                 f" {self.plan.heal_time:.1f} but the run is only"
                 f" {self.epochs} epochs"
             )
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict; the plan serializes via its own hook."""
+        data = dataclasses.asdict(self)
+        data["plan"] = self.plan.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        fields = dict(data)
+        fields["plan"] = FaultPlan.from_dict(fields["plan"])
+        return cls(**fields)
 
 
 @dataclass
@@ -618,6 +688,53 @@ class ChaosResult:
     @property
     def ok(self) -> bool:
         return not self.violations
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict for cross-process result transport."""
+        return {
+            "config": self.config.to_dict(),
+            "records": [record.to_dict() for record in self.records],
+            "violations": [
+                violation.to_dict() for violation in self.violations
+            ],
+            "first_degraded_epoch": self.first_degraded_epoch,
+            "reconverged_epoch": self.reconverged_epoch,
+            "bus_stats": (
+                self.bus_stats.to_dict() if self.bus_stats else None
+            ),
+            "controller_stats": (
+                self.controller_stats.to_dict()
+                if self.controller_stats
+                else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            config=ChaosConfig.from_dict(data["config"]),
+            records=[
+                ChaosEpochRecord.from_dict(record)
+                for record in data["records"]
+            ],
+            violations=[
+                InvariantViolation.from_dict(violation)
+                for violation in data.get("violations", ())
+            ],
+            first_degraded_epoch=data.get("first_degraded_epoch"),
+            reconverged_epoch=data.get("reconverged_epoch"),
+            bus_stats=(
+                BusStats.from_dict(data["bus_stats"])
+                if data.get("bus_stats")
+                else None
+            ),
+            controller_stats=(
+                ControllerStats.from_dict(data["controller_stats"])
+                if data.get("controller_stats")
+                else None
+            ),
+        )
 
 
 def _edge_manifests(
@@ -689,6 +806,7 @@ def _run_chaos(config: ChaosConfig, registry: MetricsRegistry) -> ChaosResult:
             heartbeat_timeout=config.heartbeat_timeout,
             resolve_every=config.resolve_every,
             lease_ttl=config.lease_ttl,
+            coverage=config.coverage,
             retry_seed=config.seed,
         ),
         registry=registry,

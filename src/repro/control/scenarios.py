@@ -26,6 +26,7 @@ a genuine drift for the controller to detect.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
@@ -87,6 +88,20 @@ class ScenarioEvent:
                 f"shift event needs a profile in {sorted(PROFILES)}"
             )
 
+    def to_dict(self) -> dict:
+        """JSON-compatible dict (``None`` fields omitted)."""
+        data = {"epoch": self.epoch, "kind": self.kind}
+        if self.node is not None:
+            data["node"] = self.node
+        if self.profile is not None:
+            data["profile"] = self.profile
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioEvent":
+        """Rebuild an event from :meth:`to_dict` output."""
+        return cls(**data)
+
 
 @dataclass
 class ScenarioConfig:
@@ -113,10 +128,29 @@ class ScenarioConfig:
     stabilize_tolerance: float = 0.02
     drift_threshold: float = 0.2
     headroom: float = 1.0
+    #: Redundancy level r the controller plans at (paper §3: every
+    #: unit analyzed by ``r`` distinct on-path nodes).
+    coverage: float = 1.0
     #: Epoch-lease TTL for graceful degradation; ``None`` (default)
     #: runs the plane without leases, the pre-hardening behaviour.
     lease_ttl: Optional[float] = None
     events: Tuple[ScenarioEvent, ...] = ()
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict; events serialize via their own hook."""
+        data = dataclasses.asdict(self)
+        data["events"] = [event.to_dict() for event in self.events]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        fields = dict(data)
+        fields["events"] = tuple(
+            ScenarioEvent.from_dict(event)
+            for event in fields.get("events", ())
+        )
+        return cls(**fields)
 
 
 def standard_scenario(
@@ -213,6 +247,49 @@ class ScenarioResult:
     @property
     def ok(self) -> bool:
         return not self.check_acceptance()
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict for cross-process result transport."""
+        return {
+            "config": self.config.to_dict(),
+            "records": [record.to_dict() for record in self.records],
+            "detection_epoch": dict(self.detection_epoch),
+            "redistribution_epoch": dict(self.redistribution_epoch),
+            "reintegration_epoch": dict(self.reintegration_epoch),
+            "bus_stats": (
+                self.bus_stats.to_dict() if self.bus_stats else None
+            ),
+            "controller_stats": (
+                self.controller_stats.to_dict()
+                if self.controller_stats
+                else None
+            ),
+            "orphaned_mass": dict(self.orphaned_mass),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            config=ScenarioConfig.from_dict(data["config"]),
+            records=[
+                EpochRecord.from_dict(record) for record in data["records"]
+            ],
+            detection_epoch=dict(data.get("detection_epoch", {})),
+            redistribution_epoch=dict(data.get("redistribution_epoch", {})),
+            reintegration_epoch=dict(data.get("reintegration_epoch", {})),
+            bus_stats=(
+                BusStats.from_dict(data["bus_stats"])
+                if data.get("bus_stats")
+                else None
+            ),
+            controller_stats=(
+                ControllerStats.from_dict(data["controller_stats"])
+                if data.get("controller_stats")
+                else None
+            ),
+            orphaned_mass=dict(data.get("orphaned_mass", {})),
+        )
 
 
 def session_pools(
@@ -330,6 +407,7 @@ def _run_scenario(
             stabilize_tolerance=config.stabilize_tolerance,
             drift_threshold=config.drift_threshold,
             headroom=config.headroom,
+            coverage=config.coverage,
             lease_ttl=config.lease_ttl,
             retry_seed=config.seed,
         ),

@@ -85,6 +85,27 @@ class DeploymentUsage:
             keys.update(alert.key() for alert in report.alerts)
         return keys
 
+    def to_dict(self) -> dict:
+        """JSON-compatible dict for cross-process result transport."""
+        return {
+            "label": self.label,
+            "reports": {
+                node: report.to_dict()
+                for node, report in self.reports.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DeploymentUsage":
+        """Rebuild a usage result from :meth:`to_dict` output."""
+        return cls(
+            label=data["label"],
+            reports={
+                node: InstanceReport.from_dict(report)
+                for node, report in data["reports"].items()
+            },
+        )
+
 
 def emulate_edge(
     generator: TrafficGenerator,

@@ -153,6 +153,33 @@ class InstanceReport:
         """Total resident memory footprint (bytes)."""
         return self.usage.mem_bytes
 
+    def to_dict(self) -> dict:
+        """JSON-compatible dict for cross-process result transport."""
+        return {
+            "node": self.node,
+            "mode": self.mode.value,
+            "usage": {"cpu": self.usage.cpu, "mem_bytes": self.usage.mem_bytes},
+            "tracked_connections": self.tracked_connections,
+            "module_cpu": dict(self.module_cpu),
+            "module_items": dict(self.module_items),
+            "alerts": [alert.to_dict() for alert in self.alerts],
+            "light_connections": self.light_connections,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "InstanceReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        return cls(
+            node=data["node"],
+            mode=BroMode(data["mode"]),
+            usage=ResourceUsage(**data["usage"]),
+            tracked_connections=data["tracked_connections"],
+            module_cpu=dict(data["module_cpu"]),
+            module_items=dict(data["module_items"]),
+            alerts=[Alert.from_dict(alert) for alert in data.get("alerts", ())],
+            light_connections=data.get("light_connections", 0),
+        )
+
 
 class BroInstance:
     """One simulated Bro process."""

@@ -222,6 +222,19 @@ class Alert:
     def key(self) -> Tuple[str, str]:
         return (self.module, self.subject)
 
+    def to_dict(self) -> dict:
+        """JSON-compatible dict of the alert."""
+        return {
+            "module": self.module,
+            "subject": self.subject,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Alert":
+        """Rebuild an alert from :meth:`to_dict` output."""
+        return cls(**data)
+
 
 class Detector:
     """Behavioural base class: stateful per-instance analysis logic.

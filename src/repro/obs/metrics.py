@@ -225,6 +225,31 @@ class Histogram(Metric):
             return [0] * (len(self.buckets) + 1)
         return list(series.bucket_counts)
 
+    def merge_series(
+        self,
+        labels: Mapping[str, object],
+        bucket_counts: Sequence[int],
+        total: float,
+        count: int,
+    ) -> None:
+        """Fold one exported series into this histogram.
+
+        *bucket_counts* must match this histogram's bucket layout
+        (``len(buckets) + 1`` non-cumulative counts, +Inf last) — the
+        caller (:meth:`MetricsRegistry.merge_from`) verifies bucket
+        bounds agree before dispatching here.
+        """
+        if len(bucket_counts) != len(self.buckets) + 1:
+            raise ValueError(
+                f"histogram {self.name!r} has {len(self.buckets) + 1}"
+                f" buckets, snapshot series has {len(bucket_counts)}"
+            )
+        series = self._get(self._key(labels))
+        for index, bucket_count in enumerate(bucket_counts):
+            series.bucket_counts[index] += int(bucket_count)
+        series.sum += float(total)
+        series.count += int(count)
+
     def cumulative_buckets(self, **labels: object) -> List[Tuple[float, int]]:
         """Prometheus-style cumulative ``(le, count)`` pairs incl. +Inf."""
         counts = self.bucket_counts(**labels)
@@ -336,6 +361,68 @@ class MetricsRegistry:
         finally:
             histogram.observe(span.stop(), **labels)
             counter.inc(**labels)
+
+    # -- cross-process merge ----------------------------------------------
+    def merge_from(self, snapshot: Mapping) -> None:
+        """Fold a registry *snapshot* (see :func:`repro.obs.snapshot`)
+        into this registry, deterministically.
+
+        The merge semantics per metric kind:
+
+        * **counter** — snapshot totals are *added* per series (the
+          natural fold for shared-nothing workers: each worker counted
+          disjoint work);
+        * **gauge** — the snapshot value *overwrites* the series
+          (last-merge-wins; callers wanting a deterministic outcome
+          merge snapshots in a fixed order, e.g. sweep-cell order);
+        * **histogram** — per-bucket counts, ``sum``, and ``count`` are
+          added per series; the snapshot's bucket bounds must match the
+          local declaration exactly.
+
+        Families absent locally are created from the snapshot's
+        declaration (help text, label names, buckets); families already
+        declared must agree on kind and label names or the merge
+        raises, mirroring the create-or-get contract.
+        """
+        if not self.enabled:
+            return
+        version = snapshot.get("version")
+        if version != 1:
+            raise ValueError(f"unsupported snapshot version {version!r}")
+        for name in sorted(snapshot["metrics"]):
+            entry = snapshot["metrics"][name]
+            kind = entry["type"]
+            label_names = tuple(entry.get("labels", ()))
+            help_text = entry.get("help", "")
+            if kind == "counter":
+                counter = self.counter(name, help_text, labels=label_names)
+                for series in entry["series"]:
+                    counter.inc(float(series["value"]), **series["labels"])
+            elif kind == "gauge":
+                gauge = self.gauge(name, help_text, labels=label_names)
+                for series in entry["series"]:
+                    gauge.set(float(series["value"]), **series["labels"])
+            elif kind == "histogram":
+                buckets = tuple(float(b) for b in entry["buckets"])
+                histogram = self.histogram(
+                    name, help_text, labels=label_names, buckets=buckets
+                )
+                if histogram.buckets != buckets:
+                    raise ValueError(
+                        f"histogram {name!r} declared with buckets"
+                        f" {histogram.buckets}, snapshot has {buckets}"
+                    )
+                for series in entry["series"]:
+                    histogram.merge_series(
+                        series["labels"],
+                        series["bucket_counts"],
+                        series["sum"],
+                        series["count"],
+                    )
+            else:
+                raise ValueError(
+                    f"snapshot metric {name!r} has unknown type {kind!r}"
+                )
 
     # -- introspection ----------------------------------------------------
     def metrics(self) -> List[Metric]:

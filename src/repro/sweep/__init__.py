@@ -1,0 +1,54 @@
+"""repro.sweep — sharded scenario sweeps with cached artifacts.
+
+The paper's evaluation is a grid, not a run: topologies × fault
+conditions × traffic/adversary dynamics × redundancy levels × seeds
+(§6).  This package executes that grid as a declarative sweep:
+
+* :mod:`~repro.sweep.spec` — :class:`SweepSpec` / :class:`SweepCell`
+  declare the matrix; :func:`derive_seed` gives every cell a stable,
+  independent RNG stream; :func:`load_spec` reads TOML/JSON files;
+* :mod:`~repro.sweep.executor` — :func:`run_sweep` shards the grid
+  over shared-nothing worker processes (spawn-safe), with a
+  sequential fallback and a content-addressed artifact cache
+  (:class:`~repro.sweep.cache.ArtifactCache`) so grown grids only
+  execute their new cells;
+* :mod:`~repro.sweep.report` — :func:`consolidate` folds per-cell
+  verdicts and telemetry into one deterministic report whose bytes do
+  not depend on worker count or cache state.
+
+CLI: ``repro sweep run|status|report``.
+"""
+
+from .cache import ArtifactCache, CACHE_FORMAT_VERSION, cache_key
+from .executor import DEFAULT_CACHE_DIR, SweepRun, run_sweep
+from .report import consolidate, format_summary, render_report, write_report
+from .spec import (
+    DYNAMICS_PRESETS,
+    PLAN_AXIS_VALUES,
+    SweepCell,
+    SweepSpec,
+    derive_seed,
+    load_spec,
+)
+from .worker import CellResult, run_cell
+
+__all__ = [
+    "ArtifactCache",
+    "CACHE_FORMAT_VERSION",
+    "CellResult",
+    "DEFAULT_CACHE_DIR",
+    "DYNAMICS_PRESETS",
+    "PLAN_AXIS_VALUES",
+    "SweepCell",
+    "SweepRun",
+    "SweepSpec",
+    "cache_key",
+    "consolidate",
+    "derive_seed",
+    "format_summary",
+    "load_spec",
+    "render_report",
+    "run_cell",
+    "run_sweep",
+    "write_report",
+]

@@ -394,3 +394,80 @@ class TestRareEventFamilies:
             ((("rule", "coverage-floor"),), 1.0)
         ]
         assert samples["controller_superseded_acks_total"] == [((), 1.0)]
+
+
+class TestMergeFrom:
+    """Cross-process snapshot folding (the sweep merge layer)."""
+
+    def test_counters_add_per_series(self):
+        source = MetricsRegistry()
+        source.counter("jobs_total", labels=("node",)).inc(3, node="a")
+        source.counter("jobs_total", labels=("node",)).inc(1, node="b")
+        target = MetricsRegistry()
+        target.counter("jobs_total", labels=("node",)).inc(2, node="a")
+        target.merge_from(snapshot(source))
+        merged = target.get("jobs_total")
+        assert merged.value(node="a") == 5.0
+        assert merged.value(node="b") == 1.0
+
+    def test_gauges_overwrite_last_merge_wins(self):
+        first = MetricsRegistry()
+        first.gauge("depth").set(4.0)
+        second = MetricsRegistry()
+        second.gauge("depth").set(9.0)
+        target = MetricsRegistry()
+        target.merge_from(snapshot(first))
+        target.merge_from(snapshot(second))
+        assert target.get("depth").value() == 9.0
+
+    def test_histograms_add_buckets_sum_and_count(self):
+        buckets = (1.0, 5.0)
+        source = MetricsRegistry()
+        source.histogram("latency", buckets=buckets).observe(0.5)
+        source.histogram("latency", buckets=buckets).observe(3.0)
+        target = MetricsRegistry()
+        target.histogram("latency", buckets=buckets).observe(10.0)
+        target.merge_from(snapshot(source))
+        merged = target.get("latency")
+        assert merged.count() == 3
+        assert merged.sum() == 13.5
+
+    def test_merge_creates_missing_families(self):
+        source = MetricsRegistry()
+        source.counter("new_total", "fresh family").inc(2)
+        target = MetricsRegistry()
+        target.merge_from(snapshot(source))
+        assert target.get("new_total").total() == 2.0
+
+    def test_merge_is_commutative_for_counters(self):
+        a = MetricsRegistry()
+        a.counter("events_total").inc(3)
+        b = MetricsRegistry()
+        b.counter("events_total").inc(4)
+        ab = MetricsRegistry()
+        ab.merge_from(snapshot(a))
+        ab.merge_from(snapshot(b))
+        ba = MetricsRegistry()
+        ba.merge_from(snapshot(b))
+        ba.merge_from(snapshot(a))
+        assert snapshot(ab) == snapshot(ba)
+
+    def test_version_mismatch_raises(self):
+        target = MetricsRegistry()
+        with pytest.raises(ValueError, match="snapshot version"):
+            target.merge_from({"version": 99, "metrics": {}})
+
+    def test_histogram_bucket_mismatch_raises(self):
+        source = MetricsRegistry()
+        source.histogram("latency", buckets=(1.0, 2.0)).observe(0.5)
+        target = MetricsRegistry()
+        target.histogram("latency", buckets=(1.0, 8.0)).observe(0.5)
+        with pytest.raises(ValueError):
+            target.merge_from(snapshot(source))
+
+    def test_null_registry_ignores_merges(self):
+        source = MetricsRegistry()
+        source.counter("events_total").inc(5)
+        NULL_REGISTRY.merge_from(snapshot(source))
+        assert NULL_REGISTRY.get("events_total") is None
+        assert snapshot(NULL_REGISTRY)["metrics"] == {}
