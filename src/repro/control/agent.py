@@ -40,7 +40,7 @@ outlives its lease.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from ..core.manifest import NodeManifest
 from ..core.manifest_index import ManifestIndex
@@ -89,6 +89,26 @@ class AgentStats:
     reports_sent: int = 0
     lease_expirations: int = 0
     degraded_epochs: int = 0
+
+
+class _SessionTally:
+    """Single-pass iterable wrapper counting sessions as they flow by.
+
+    Lets :meth:`Agent.step` feed a streaming chunk straight into the
+    flow exporter and still report the exact session count, without
+    materializing the trace.
+    """
+
+    __slots__ = ("_sessions", "count")
+
+    def __init__(self, sessions: Iterable[Session]):
+        self._sessions = sessions
+        self.count = 0
+
+    def __iter__(self):
+        for session in self._sessions:
+            self.count += 1
+            yield session
 
 
 class Agent:
@@ -186,7 +206,7 @@ class Agent:
             self.degraded = True
 
     # -- epoch step -------------------------------------------------------
-    def step(self, now: float, sessions: Optional[Sequence[Session]] = None) -> None:
+    def step(self, now: float, sessions: Optional[Iterable[Session]] = None) -> None:
         """Process inbox, optionally measure+report, heartbeat, expire.
 
         Called (at least) twice per epoch by the runtime: once at epoch
@@ -194,6 +214,11 @@ class Agent:
         pick up the controller's pushes.  A crashed agent drains and
         discards its inbox — messages addressed to a dead process are
         simply lost.
+
+        *sessions* may be any iterable (including a streaming chunk
+        generator): it is consumed exactly once, flowing through the
+        exporter while being tallied for the dispatch counter, so the
+        agent never needs the epoch's trace materialized.
         """
         inbox = self.bus.deliver(self.node, now)
         if not self.alive:
@@ -226,14 +251,15 @@ class Agent:
                     "epochs a node spent in edge-only fallback",
                     labels=("node",),
                 ).inc(node=self.node)
+            tally = _SessionTally(sessions)
+            report = self.exporter.measure(
+                tally, interval_seconds=self.config.heartbeat_interval
+            )
             self.registry.counter(
                 "agent_dispatch_sessions_total",
                 "ingress sessions measured (and dispatched on) per node",
                 labels=("node",),
-            ).inc(len(sessions), node=self.node)
-            report = self.exporter.measure(
-                sessions, interval_seconds=self.config.heartbeat_interval
-            )
+            ).inc(tally.count, node=self.node)
             self.bus.send(
                 self.node,
                 self.config.controller,

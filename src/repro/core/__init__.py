@@ -8,7 +8,13 @@
 * What-if provisioning analyses.
 """
 
-from .dispatch import CoordinatedDispatcher, DispatchDecision, UnitResolver
+from .dispatch import (
+    CoordinatedDispatcher,
+    DispatchDecision,
+    ModuleBatchDecision,
+    UnitResolver,
+)
+from .exactsum import ExactSum, exact_total
 from .manifest_index import ManifestIndex, compile_ranges, index_manifests
 from .manifest import (
     NodeManifest,
@@ -104,6 +110,9 @@ __all__ = [
     "index_manifests",
     "CoordinationUnit",
     "DispatchDecision",
+    "ExactSum",
+    "exact_total",
+    "ModuleBatchDecision",
     "FPLAdapter",
     "FPLConfig",
     "NIDSAssignment",

@@ -33,6 +33,7 @@ import numpy as np
 from ..hashing.keys import Aggregation, key_hash_unit
 from ..hashing.vectorized import key_hash_unit_batch
 from ..nids.modules.base import ModuleSpec, Scope
+from ..traffic.batch import SessionBatch
 from ..traffic.generator import home_node_index
 from ..traffic.packet import Packet
 from ..traffic.session import Session
@@ -89,6 +90,23 @@ class DispatchDecision:
     unit: UnitKey
     hash_value: float
     analyze: bool
+
+
+@dataclass
+class ModuleBatchDecision:
+    """Per-module full-length masks over one :class:`SessionBatch`.
+
+    ``match`` is the traffic-filter predicate, ``analyze`` the Fig. 3
+    sampling verdict, and ``responsible`` whether this node holds any
+    range for the session's coordination unit (regardless of where the
+    hash lands) — the three per-(module, session) booleans the engine
+    consumes.
+    """
+
+    spec: ModuleSpec
+    match: np.ndarray
+    analyze: np.ndarray
+    responsible: np.ndarray
 
 
 class CoordinatedDispatcher:
@@ -237,47 +255,44 @@ class CoordinatedDispatcher:
         return decisions
 
     # -- batch decisions -----------------------------------------------------
-    def _unit_groups(
-        self, sessions: Sequence[Session]
-    ) -> Tuple[np.ndarray, Dict[Scope, List[UnitKey]]]:
-        """Group sessions by (ingress, egress) pair for unit resolution.
+    def _units_by_scope(self, batch: SessionBatch) -> Dict[Scope, List[UnitKey]]:
+        """Per-scope gid-to-unit-key tables for the batch's pair groups.
 
         Unit keys depend only on the routing pair and the module scope,
         so resolving once per distinct pair (instead of once per
         (module, session)) collapses GET_COORD_UNIT to a table lookup.
         """
-        group_ids = np.empty(len(sessions), dtype=np.intp)
-        seen: Dict[Tuple[str, str], int] = {}
-        pairs: List[Tuple[str, str]] = []
-        for i, session in enumerate(sessions):
-            pair = (session.ingress, session.egress)
-            gid = seen.get(pair)
-            if gid is None:
-                gid = len(pairs)
-                seen[pair] = gid
-                pairs.append(pair)
-            group_ids[i] = gid
-        units_by_scope: Dict[Scope, List[UnitKey]] = {
+        pairs = batch.pairs
+        return {
             Scope.PATH: [tuple(sorted(pair)) for pair in pairs],
             Scope.INGRESS: [(pair[0],) for pair in pairs],
             Scope.EGRESS: [(pair[1],) for pair in pairs],
         }
-        return group_ids, units_by_scope
+
+    def _as_batch(self, sessions) -> SessionBatch:
+        if isinstance(sessions, SessionBatch):
+            return sessions
+        return SessionBatch(sessions)
 
     def _decide_batch_raw(
-        self, sessions: Sequence[Session]
-    ) -> List[Tuple[np.ndarray, np.ndarray, List[UnitKey], np.ndarray, np.ndarray]]:
-        """Vectorized Fig. 3 over a session batch.
+        self, sessions
+    ) -> List[
+        Tuple[np.ndarray, np.ndarray, np.ndarray, List[UnitKey], np.ndarray, np.ndarray]
+    ]:
+        """Vectorized Fig. 3 over a session batch (or :class:`SessionBatch`).
 
-        Returns, per module (in module order): the matched session
-        indices, their unit-group ids, the scope's gid-to-unit-key
-        table, their hash values, and the analyze flags.  Semantics are
-        identical to running :meth:`decide_session` per session.
+        Returns, per module (in module order): the full-length match
+        mask, the matched session indices, their unit-group ids, the
+        scope's gid-to-unit-key table, their hash values, and the
+        analyze flags.  Semantics are identical to running
+        :meth:`decide_session` per session.
         """
-        n = len(sessions)
+        batch = self._as_batch(sessions)
+        n = len(batch)
         if n == 0:
             return [
                 (
+                    np.empty(0, dtype=bool),
                     np.empty(0, dtype=np.intp),
                     np.empty(0, dtype=np.intp),
                     [],
@@ -286,13 +301,8 @@ class CoordinatedDispatcher:
                 )
                 for _ in self.modules
             ]
-        tuples = [session.tuple for session in sessions]
-        src = np.fromiter((t.src for t in tuples), dtype=np.uint64, count=n)
-        dst = np.fromiter((t.dst for t in tuples), dtype=np.uint64, count=n)
-        sport = np.fromiter((t.sport for t in tuples), dtype=np.int64, count=n)
-        dport = np.fromiter((t.dport for t in tuples), dtype=np.int64, count=n)
-        proto = np.fromiter((t.proto for t in tuples), dtype=np.int64, count=n)
-        group_ids, units_by_scope = self._unit_groups(sessions)
+        group_ids = batch.group_ids
+        units_by_scope = self._units_by_scope(batch)
         index = self.index
 
         hashes_by_aggregation: Dict[Aggregation, np.ndarray] = {}
@@ -301,10 +311,18 @@ class CoordinatedDispatcher:
             all_hashes = hashes_by_aggregation.get(spec.aggregation)
             if all_hashes is None:
                 all_hashes = self._hash_batch(
-                    spec.aggregation, tuples, src, dst, sport, dport, proto
+                    spec.aggregation,
+                    batch.tuples,
+                    batch.src,
+                    batch.dst,
+                    batch.sport,
+                    batch.dport,
+                    batch.proto,
                 )
                 hashes_by_aggregation[spec.aggregation] = all_hashes
-            mask = spec.traffic_filter.matches_sessions_batch(proto, dport)
+            mask = spec.traffic_filter.matches_sessions_batch(
+                batch.proto, batch.dport
+            )
             matched = np.flatnonzero(mask)
             unit_table = units_by_scope[spec.scope]
             matched_gids = group_ids[matched]
@@ -321,7 +339,9 @@ class CoordinatedDispatcher:
                     flags[group] = index.contains_batch(
                         spec.name, unit, matched_hashes[group]
                     )
-            results.append((matched, matched_gids, unit_table, matched_hashes, flags))
+            results.append(
+                (mask, matched, matched_gids, unit_table, matched_hashes, flags)
+            )
         return results
 
     def decide_batch(
@@ -334,7 +354,7 @@ class CoordinatedDispatcher:
         verdicts) via the vectorized fast path.
         """
         decisions: List[List[DispatchDecision]] = [[] for _ in sessions]
-        for spec, (matched, gids, unit_table, hashes, flags) in zip(
+        for spec, (_mask, matched, gids, unit_table, hashes, flags) in zip(
             self.modules, self._decide_batch_raw(sessions)
         ):
             for j, i in enumerate(matched):
@@ -359,12 +379,42 @@ class CoordinatedDispatcher:
         decision objects.
         """
         sampled: List[List[ModuleSpec]] = [[] for _ in sessions]
-        for spec, (matched, _gids, _units, _hashes, flags) in zip(
+        for spec, (_mask, matched, _gids, _units, _hashes, flags) in zip(
             self.modules, self._decide_batch_raw(sessions)
         ):
             for i in matched[flags]:
                 sampled[i].append(spec)
         return sampled
+
+    def batch_decisions(self, batch: SessionBatch) -> List["ModuleBatchDecision"]:
+        """Full-length per-module masks for the vectorized engine.
+
+        For each module (in module order): the traffic-filter match
+        mask, the Fig. 3 analyze mask (match AND hash-in-range), and
+        the responsibility mask (this node holds *some* range for the
+        session's unit — the engine's ``_responsible`` check).  All
+        element-wise identical to the scalar predicates.
+        """
+        raw = self._decide_batch_raw(batch)
+        n = len(batch)
+        out: List[ModuleBatchDecision] = []
+        for spec, (mask, matched, _gids, unit_table, _hashes, flags) in zip(
+            self.modules, raw
+        ):
+            analyze = np.zeros(n, dtype=bool)
+            if len(matched):
+                analyze[matched[flags]] = True
+            if unit_table:
+                table = np.fromiter(
+                    (self.manifest.responsible(spec.name, unit) for unit in unit_table),
+                    dtype=bool,
+                    count=len(unit_table),
+                )
+                responsible = table[batch.group_ids]
+            else:
+                responsible = np.zeros(n, dtype=bool)
+            out.append(ModuleBatchDecision(spec, mask, analyze, responsible))
+        return out
 
     def should_analyze(self, spec: ModuleSpec, session: Session) -> bool:
         """Single-module convenience wrapper over :meth:`decide_session`."""

@@ -24,11 +24,14 @@ _LAZY_EXPORTS = {
     "BroMode": ("repro.nids.engine", "BroMode"),
     "EmulationConfig": ("repro.nids.engine", "EmulationConfig"),
     "InstanceReport": ("repro.nids.engine", "InstanceReport"),
+    "PartialInstanceReport": ("repro.nids.engine", "PartialInstanceReport"),
     "ComparisonRow": ("repro.nids.emulation", "ComparisonRow"),
     "DeploymentUsage": ("repro.nids.emulation", "DeploymentUsage"),
     "compare_deployments": ("repro.nids.emulation", "compare_deployments"),
     "emulate_coordinated": ("repro.nids.emulation", "emulate_coordinated"),
+    "emulate_coordinated_stream": ("repro.nids.emulation", "emulate_coordinated_stream"),
     "emulate_edge": ("repro.nids.emulation", "emulate_edge"),
+    "emulate_edge_stream": ("repro.nids.emulation", "emulate_edge_stream"),
     "run_microbenchmark": ("repro.nids.microbench", "run_microbenchmark"),
     "format_microbench_table": ("repro.nids.microbench", "format_microbench_table"),
     "MicrobenchRow": ("repro.nids.microbench", "MicrobenchRow"),
@@ -79,6 +82,7 @@ __all__ = [
     "Detector",
     "EmulationConfig",
     "InstanceReport",
+    "PartialInstanceReport",
     "MicrobenchRow",
     "ModuleSpec",
     "ResourceUsage",
@@ -87,7 +91,9 @@ __all__ = [
     "TrafficFilter",
     "compare_deployments",
     "emulate_coordinated",
+    "emulate_coordinated_stream",
     "emulate_edge",
+    "emulate_edge_stream",
     "format_microbench_table",
     "make_detector",
     "module_by_name",

@@ -14,7 +14,7 @@ footprints are reported.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..core.nids_deployment import NIDSDeployment
 from ..obs import MetricsRegistry
@@ -27,6 +27,7 @@ from .engine import (
     BroMode,
     EmulationConfig,
     InstanceReport,
+    PartialInstanceReport,
 )
 from .modules.base import Alert, ModuleSpec
 
@@ -196,6 +197,110 @@ def emulate_coordinated(
             )
             reports[node] = instance.process_sessions(trace)
     return DeploymentUsage(label="coordinated", reports=reports)
+
+
+def _emulate_stream(
+    label: str,
+    instances: Dict[str, BroInstance],
+    generator: TrafficGenerator,
+    session_chunks: Iterable[Sequence[Session]],
+    transit: bool,
+    config: EmulationConfig,
+) -> DeploymentUsage:
+    """Stream chunks through persistent per-node instances and merge.
+
+    Exact-accounting partials make the merged result bit-identical to
+    processing the whole (even re-ordered) trace at once, so callers
+    can trade memory for chunk count freely.
+    """
+    chunk_counter = config.registry.counter(
+        "engine_stream_chunks_total",
+        "traffic chunks streamed through the emulation entry points",
+    )
+    partials: Dict[str, PartialInstanceReport] = {}
+    for chunk in session_chunks:
+        chunk_counter.inc()
+        traces = generator.split_by_node(list(chunk), transit=transit)
+        for node, trace in traces.items():
+            partial = instances[node].process_sessions_partial(trace)
+            held = partials.get(node)
+            if held is None:
+                partials[node] = partial
+            else:
+                held.merge(partial)
+    reports = {
+        node: instance.finalize_partial(
+            partials.get(node)
+            or PartialInstanceReport.empty(
+                node, instance.mode, (spec.name for spec in instance.modules)
+            )
+        )
+        for node, instance in instances.items()
+    }
+    return DeploymentUsage(label=label, reports=reports)
+
+
+def emulate_edge_stream(
+    generator: TrafficGenerator,
+    session_chunks: Iterable[Sequence[Session]],
+    modules: Sequence[ModuleSpec],
+    *,
+    config: Optional[EmulationConfig] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> DeploymentUsage:
+    """Edge-only deployment over a chunked session stream.
+
+    Memory-bounded variant of :func:`emulate_edge`: only one chunk
+    (typically from ``TrafficGenerator.generate_chunks``) is resident
+    at a time, and the consolidated report is bit-identical to the
+    materialize-all run over the same sessions."""
+    config = _resolve_config(config, registry)
+    instances = {
+        node: BroInstance(
+            node=node, modules=modules, mode=BroMode.UNMODIFIED, config=config
+        )
+        for node in generator.topology.node_names
+    }
+    with config.registry.timer(
+        "emulate_edge_seconds", "wall-clock seconds per edge-only emulation"
+    ):
+        return _emulate_stream(
+            "edge", instances, generator, session_chunks, False, config
+        )
+
+
+def emulate_coordinated_stream(
+    deployment: NIDSDeployment,
+    generator: TrafficGenerator,
+    session_chunks: Iterable[Sequence[Session]],
+    *,
+    config: Optional[EmulationConfig] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> DeploymentUsage:
+    """Coordinated deployment over a chunked session stream.
+
+    Memory-bounded variant of :func:`emulate_coordinated` with the same
+    bit-identical-report guarantee as :func:`emulate_edge_stream`."""
+    config = _resolve_config(config, registry)
+    if config.mode is BroMode.UNMODIFIED:
+        raise ValueError("coordinated emulation requires a coordinated mode")
+    instances = {
+        node: BroInstance(
+            node=node,
+            modules=deployment.modules,
+            mode=config.mode,
+            dispatcher=deployment.dispatcher(node),
+            config=config,
+        )
+        for node in generator.topology.node_names
+    }
+    with config.registry.timer(
+        "emulate_coordinated_seconds",
+        "wall-clock seconds per coordinated emulation",
+    ):
+        return _emulate_stream(
+            "coordinated", instances, generator, session_chunks, True, config
+        )
 
 
 @dataclass

@@ -188,6 +188,36 @@ class ModuleSpec:
             + self.policy_cpu_per_event * self.policy_events(session)
         )
 
+    def policy_events_batch(self, pkts_f, half_open):
+        """Vectorized :meth:`policy_events` over matched sessions.
+
+        *pkts_f* is a float64 packet-count array, *half_open* the bool
+        half-open mask.  The traffic-filter gate is NOT applied here —
+        callers mask by match — but the half-open rule is, matching the
+        scalar predicate elementwise.  The operation order mirrors
+        :meth:`policy_events` exactly so each element is bit-identical
+        to the scalar result.
+        """
+        import numpy as np
+
+        events = self.events_per_packet * pkts_f
+        events += self.events_per_session
+        if self.half_open_events_only:
+            events = np.where(half_open, events, 0.0)
+        return events
+
+    def session_cpu_batch(self, pkts_f, half_open):
+        """Vectorized :meth:`session_cpu` over matched sessions.
+
+        Same masking contract (and elementwise bit-identity) as
+        :meth:`policy_events_batch`.
+        """
+        work = self.event_cpu_per_packet * pkts_f
+        work += self.policy_cpu_per_event * self.policy_events_batch(
+            pkts_f, half_open
+        )
+        return work
+
     def item_key(self, session: Session) -> int:
         """The state-table key this session occupies at the module's
         aggregation (session id, source host, or destination host)."""

@@ -32,6 +32,7 @@ from .profiles import (
     mixed_profile,
     web_heavy_profile,
 )
+from .batch import SessionBatch
 from .session import Session, TraceStats, merge_packet_streams, trace_stats
 
 __all__ = [
@@ -46,6 +47,7 @@ __all__ = [
     "ICMP",
     "Packet",
     "Session",
+    "SessionBatch",
     "SessionTemplate",
     "TCP",
     "TEMPLATES",

@@ -15,8 +15,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
+from ..obs import get_registry
 from ..topology.graph import Topology
 from ..topology.routing import Path, PathSet
 from .matrix import TrafficMatrix
@@ -128,26 +129,76 @@ class TrafficGenerator:
             probe=template.probe,
         )
 
+    def iter_sessions(self, num_sessions: int) -> Iterator[Session]:
+        """Yield exactly *num_sessions* sessions in generation order.
+
+        One :class:`random.Random` seeded once drives the whole stream,
+        and sessions are drawn in the deterministic traffic-matrix pair
+        order — so the emitted sequence is a pure function of
+        ``(seed, num_sessions)`` and every consumer (materializing,
+        chunking, streaming) observes the *same* sessions.  This is the
+        single generation primitive; :meth:`generate` and
+        :meth:`generate_chunks` are views over it.
+        """
+        rng = random.Random(self.config.seed)
+        session_id = 0
+        for (ingress, egress), count in self.matrix.session_counts(num_sessions).items():
+            for _ in range(count):
+                template = self.profile.draw_template(rng)
+                yield self._build_session(session_id, ingress, egress, template, rng)
+                session_id += 1
+
     def generate(self, num_sessions: int) -> List[Session]:
         """Generate exactly *num_sessions* sessions.
 
         Pair counts follow the traffic matrix via largest-remainder
         rounding, so the per-pair volume split is deterministic; the
         per-session randomness (templates, hosts, ports, times) is
-        driven by the configured seed.
+        driven by the configured seed.  The result is sorted by start
+        time (a stable sort over :meth:`iter_sessions` output).
         """
-        rng = random.Random(self.config.seed)
-        sessions: List[Session] = []
-        session_id = 0
-        for (ingress, egress), count in self.matrix.session_counts(num_sessions).items():
-            for _ in range(count):
-                template = self.profile.draw_template(rng)
-                sessions.append(
-                    self._build_session(session_id, ingress, egress, template, rng)
-                )
-                session_id += 1
+        sessions = list(self.iter_sessions(num_sessions))
         sessions.sort(key=lambda s: s.start_time)
         return sessions
+
+    def generate_chunks(
+        self, num_sessions: int, chunk_size: int
+    ) -> Iterator[List[Session]]:
+        """Stream *num_sessions* sessions as chunks of ``chunk_size``.
+
+        Memory-bounded companion to :meth:`generate`: only one chunk of
+        sessions is materialized at a time, so multi-million-session
+        runs are bounded by the chunk size, not the trace size.  All
+        chunks are slices of one seeded RNG stream — there is no
+        per-chunk reseeding — so the concatenation of the chunks is the
+        exact :meth:`iter_sessions` sequence for every chunk size, and
+        sorting it by start time reproduces :meth:`generate` verbatim.
+        (The engine's accounting is order-independent, so streamed and
+        materialized runs report identically.)
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        registry = get_registry()
+        chunks = registry.counter(
+            "traffic_chunks_generated_total",
+            "session chunks emitted by the streaming generator",
+        )
+        streamed = registry.counter(
+            "traffic_sessions_streamed_total",
+            "sessions emitted through the chunked generator path",
+        )
+        chunk: List[Session] = []
+        for session in self.iter_sessions(num_sessions):
+            chunk.append(session)
+            if len(chunk) >= chunk_size:
+                chunks.inc()
+                streamed.inc(len(chunk))
+                yield chunk
+                chunk = []
+        if chunk:
+            chunks.inc()
+            streamed.inc(len(chunk))
+            yield chunk
 
     def path_of(self, session: Session) -> Path:
         """The routing path the session traverses."""

@@ -107,6 +107,98 @@ def test_fuzz_nips_rounding_always_feasible(seed, num_rules, cam, variant):
     assert result.solution.objective <= relaxed.objective + 1e-6
 
 
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_nodes=st.integers(min_value=3, max_value=7),
+    fine_grained=st.booleans(),
+    mode_name=st.sampled_from(["coord-event", "coord-policy", "unmodified"]),
+)
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_fuzz_scalar_vs_batch_engine_decisions(seed, num_nodes, fine_grained, mode_name):
+    """Random deployments: the vectorized engine agrees with the scalar
+    one per (module, session) — match, Fig. 3 sampling, responsibility
+    — and the full reports are bit-identical across tracking levels."""
+    import dataclasses
+
+    from repro.core.nids_deployment import plan_deployment
+    from repro.nids.engine import BroInstance, BroMode, EmulationConfig
+    from repro.traffic import SessionBatch
+
+    mode = BroMode(mode_name)
+    topology = random_pop_topology(num_nodes, seed=seed).set_uniform_capacities(
+        cpu=1.0, mem=1.0
+    )
+    paths = PathSet(topology)
+    generator = TrafficGenerator(topology, paths, config=GeneratorConfig(seed=seed))
+    sessions = generator.generate(300)
+    deployment = plan_deployment(topology, paths, STANDARD_MODULES, sessions)
+    node = topology.node_names[seed % num_nodes]
+    trace = generator.split_by_node(sessions, transit=True)[node]
+    dispatcher = None if mode is BroMode.UNMODIFIED else deployment.dispatcher(node)
+    config = EmulationConfig(fine_grained=fine_grained)
+    scalar_instance = BroInstance(
+        node, STANDARD_MODULES, mode, dispatcher,
+        config=dataclasses.replace(config, batch_engine=False, batch_dispatch=False),
+    )
+    batch_instance = BroInstance(
+        node, STANDARD_MODULES, mode, dispatcher, config=config
+    )
+    if dispatcher is not None and trace:
+        decisions = dispatcher.batch_decisions(SessionBatch(trace))
+        for spec, decision in zip(STANDARD_MODULES, decisions):
+            for index, session in enumerate(trace):
+                assert bool(decision.match[index]) == spec.traffic_filter.matches_session(
+                    session
+                )
+                assert bool(decision.analyze[index]) == scalar_instance._sampled(
+                    spec, session
+                )
+                assert bool(decision.responsible[index]) == scalar_instance._responsible(
+                    spec, session
+                )
+    assert scalar_instance.process_sessions(trace) == batch_instance.process_sessions_batch(
+        trace
+    )
+
+
+@given(
+    lo=st.floats(min_value=0.0, max_value=0.999999),
+    offset=st.floats(min_value=0.0, max_value=5e-9),
+    probe=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_fuzz_epsilon_boundary_containment(lo, offset, probe):
+    """Scalar and vectorized manifest membership agree everywhere —
+    including ranges whose top lands within EPSILON of 1.0 (snapped
+    closed) and probe values at the very top of the hash space."""
+    import numpy as np
+
+    from repro.core.manifest import NodeManifest
+    from repro.core.manifest_index import ManifestIndex
+    from repro.hashing.ranges import EPSILON, HashRange
+
+    hi = min(1.0, max(lo, 1.0 - offset))
+    manifest = NodeManifest(
+        node="n", entries={("c", ("u",)): (HashRange(lo, hi),)}
+    )
+    index = ManifestIndex(manifest)
+    probes = [
+        probe,
+        lo,
+        hi,
+        1.0,
+        1.0 - EPSILON / 2,
+        1.0 - 2 * EPSILON,
+        max(0.0, lo - EPSILON / 2),
+        min(1.0, hi + EPSILON / 2),
+    ]
+    scalar = [manifest.contains("c", ("u",), value) for value in probes]
+    indexed = [index.contains("c", ("u",), value) for value in probes]
+    batched = index.contains_batch("c", ("u",), np.array(probes))
+    assert indexed == scalar
+    assert list(batched) == scalar
+
+
 @given(seed=st.integers(min_value=0, max_value=1_000))
 @settings(max_examples=8, deadline=None)
 def test_fuzz_unit_building_order_invariant(seed):

@@ -1,0 +1,133 @@
+"""Chunked/streaming traffic generation: one RNG stream, any chunking.
+
+``generate_chunks`` must be a pure re-chunking of the seeded session
+stream — no per-chunk reseeding, no drift — so the concatenation is
+invariant to chunk size and ``generate`` (which additionally sorts by
+start time) is reproduced verbatim.  The streaming emulation entry
+points then inherit bit-identical reports from the engine's exact
+accounting.
+"""
+
+import pytest
+
+from repro.core.nids_deployment import plan_deployment
+from repro.nids.emulation import (
+    emulate_coordinated,
+    emulate_coordinated_stream,
+    emulate_edge,
+    emulate_edge_stream,
+)
+from repro.nids.engine import EmulationConfig
+from repro.nids.modules import STANDARD_MODULES
+from repro.obs import MetricsRegistry, use_registry
+from repro.topology import PathSet, internet2
+from repro.traffic import GeneratorConfig, TrafficGenerator
+
+
+@pytest.fixture(scope="module")
+def generator():
+    topo = internet2().set_uniform_capacities(cpu=1.0, mem=1.0)
+    paths = PathSet(topo)
+    return TrafficGenerator(topo, paths, config=GeneratorConfig(seed=31))
+
+
+class TestChunkStability:
+    def test_concat_invariant_across_chunk_sizes(self, generator):
+        """The emitted sequence is identical for every chunk size —
+        the seeded-RNG stream does not depend on how it is sliced."""
+        reference = list(generator.iter_sessions(2000))
+        for chunk_size in (1, 7, 97, 1000, 2000, 5000):
+            chunks = list(generator.generate_chunks(2000, chunk_size))
+            assert all(len(c) <= chunk_size for c in chunks)
+            concatenated = [s for chunk in chunks for s in chunk]
+            assert concatenated == reference
+
+    def test_sorted_concat_equals_generate(self, generator):
+        """generate == stable sort of the streamed sequence; chunking
+        never changes what a materializing caller would have seen."""
+        materialized = generator.generate(1500)
+        streamed = [s for chunk in generator.generate_chunks(1500, 256) for s in chunk]
+        assert sorted(streamed, key=lambda s: s.start_time) == materialized
+
+    def test_same_seed_same_stream(self, generator):
+        """Two generators with the same config emit the same chunks."""
+        topo = internet2().set_uniform_capacities(cpu=1.0, mem=1.0)
+        other = TrafficGenerator(
+            topo, PathSet(topo), config=GeneratorConfig(seed=31)
+        )
+        assert list(generator.generate_chunks(800, 129)) == list(
+            other.generate_chunks(800, 129)
+        )
+
+    def test_exact_session_budget(self, generator):
+        """Chunking emits exactly num_sessions sessions, ids 0..n-1."""
+        streamed = [s for chunk in generator.generate_chunks(1003, 100) for s in chunk]
+        assert len(streamed) == 1003
+        assert sorted(s.session_id for s in streamed) == list(range(1003))
+
+    def test_invalid_chunk_size_rejected(self, generator):
+        with pytest.raises(ValueError):
+            next(generator.generate_chunks(10, 0))
+
+    def test_stream_counters_recorded(self, generator):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            chunks = list(generator.generate_chunks(250, 64))
+        assert registry.counter("traffic_chunks_generated_total").value() == len(
+            chunks
+        )
+        assert registry.counter("traffic_sessions_streamed_total").value() == 250
+
+
+class TestStreamingEmulation:
+    @pytest.fixture(scope="class")
+    def deployment(self, generator):
+        sessions = generator.generate(3000)
+        return (
+            plan_deployment(
+                generator.topology, generator.paths, STANDARD_MODULES, sessions
+            ),
+            sessions,
+        )
+
+    def test_coordinated_stream_bit_identical(self, generator, deployment):
+        """Streaming chunks through persistent per-node instances and
+        merging partials equals the materialize-all run exactly —
+        order independence of the exact accounting, end to end."""
+        plan, sessions = deployment
+        materialized = emulate_coordinated(
+            plan, generator, sessions, config=EmulationConfig()
+        )
+        for chunk_size in (257, 1024, 5000):
+            streamed = emulate_coordinated_stream(
+                plan,
+                generator,
+                generator.generate_chunks(3000, chunk_size),
+                config=EmulationConfig(),
+            )
+            assert streamed.to_dict()["reports"] == materialized.to_dict()["reports"]
+
+    def test_edge_stream_bit_identical(self, generator, deployment):
+        _, sessions = deployment
+        materialized = emulate_edge(
+            generator, sessions, STANDARD_MODULES, config=EmulationConfig()
+        )
+        streamed = emulate_edge_stream(
+            generator,
+            generator.generate_chunks(3000, 512),
+            STANDARD_MODULES,
+            config=EmulationConfig(),
+        )
+        assert streamed.to_dict()["reports"] == materialized.to_dict()["reports"]
+
+    def test_stream_chunk_counter(self, generator, deployment):
+        plan, _ = deployment
+        registry = MetricsRegistry()
+        emulate_coordinated_stream(
+            plan,
+            generator,
+            generator.generate_chunks(1000, 250),
+            config=EmulationConfig(),
+            registry=registry,
+        )
+        assert registry.counter("engine_stream_chunks_total").value() == 4
