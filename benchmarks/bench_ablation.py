@@ -31,8 +31,8 @@ from repro.experiments import scaled
 from repro.experiments.nids_network_wide import NetworkWideSetup
 from repro.experiments.nips_rounding import build_problem_for_topology
 from repro.experiments.online_adaptation import build_online_problem
-from repro.nids.emulation import emulate_coordinated
-from repro.nids.engine import BroMode
+from repro.nids.emulation import Traffic, run_emulation
+from repro.nids.engine import BroMode, EmulationConfig
 from repro.nids.modules import module_set
 from repro.nips.adversary import EvasiveAdversary
 from repro.topology.routing import DistanceMetric
@@ -52,11 +52,12 @@ def test_ablation_event_vs_policy_checks(once, nids_world):
     setup, sessions, deployment = nids_world
 
     def run():
-        event = emulate_coordinated(
-            deployment, setup.generator, sessions, mode=BroMode.COORD_EVENT
+        traffic = Traffic.materialized(setup.generator, sessions)
+        event = run_emulation(
+            traffic, deployment, config=EmulationConfig(mode=BroMode.COORD_EVENT)
         )
-        policy = emulate_coordinated(
-            deployment, setup.generator, sessions, mode=BroMode.COORD_POLICY
+        policy = run_emulation(
+            traffic, deployment, config=EmulationConfig(mode=BroMode.COORD_POLICY)
         )
         return event, policy
 
@@ -179,9 +180,10 @@ def test_ablation_fine_grained_coordination(once, nids_world):
     setup, sessions, deployment = nids_world
 
     def run():
-        coarse = emulate_coordinated(deployment, setup.generator, sessions)
-        fine = emulate_coordinated(
-            deployment, setup.generator, sessions, fine_grained=True
+        traffic = Traffic.materialized(setup.generator, sessions)
+        coarse = run_emulation(traffic, deployment)
+        fine = run_emulation(
+            traffic, deployment, config=EmulationConfig(fine_grained=True)
         )
         return coarse, fine
 
@@ -232,7 +234,9 @@ def test_baseline_chokepoint_cluster(once, nids_world):
     ]
 
     def run():
-        coordinated = emulate_coordinated(deployment, setup.generator, sessions)
+        coordinated = run_emulation(
+            Traffic.materialized(setup.generator, sessions), deployment
+        )
         cluster = emulate_cluster(
             "NYCM", observable, deployment.modules, num_workers=4
         )

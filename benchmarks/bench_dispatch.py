@@ -2,7 +2,7 @@
 
 The coordinated emulation runs the Fig. 3 decision procedure for every
 (module, session) pair at every node on the session's path.  This
-bench measures end-to-end sessions/sec of ``emulate_coordinated`` with
+bench measures end-to-end sessions/sec of coordinated emulation with
 the scalar per-session path versus the NumPy batch fast path, asserts
 the two produce identical reports, and (when run as a script) writes
 ``BENCH_dispatch.json`` at the repo root:
@@ -23,7 +23,7 @@ import time
 
 from repro.core.nids_deployment import plan_deployment
 from repro.experiments import scaled
-from repro.nids.emulation import emulate_coordinated
+from repro.nids.emulation import Traffic, run_emulation
 from repro.nids.engine import EmulationConfig
 from repro.nids.modules import STANDARD_MODULES
 from repro.obs import MetricsRegistry
@@ -73,13 +73,13 @@ def run_dispatch_benchmark(num_sessions: int, seed: int = 51) -> dict:
     batch_seconds = time.perf_counter() - start
 
     # -- full emulation end to end, plus report equivalence ----------
+    traffic = Traffic.materialized(generator, sessions)
+
     def timed_emulation(batch: bool, registry=None):
         dep = fresh()
         config = EmulationConfig(batch_dispatch=batch)
         start = time.perf_counter()
-        usage = emulate_coordinated(
-            dep, generator, sessions, config=config, registry=registry
-        )
+        usage = run_emulation(traffic, dep, config=config, registry=registry)
         return time.perf_counter() - start, usage
 
     emu_scalar_seconds, scalar_usage = timed_emulation(batch=False)

@@ -28,8 +28,8 @@ import time
 
 from repro.core.nids_deployment import plan_deployment
 from repro.experiments import scaled
-from repro.nids.emulation import emulate_coordinated, emulate_coordinated_stream
-from repro.nids.engine import EmulationConfig
+from repro.nids.emulation import Traffic, run_emulation
+from repro.nids.engine import EmulationConfig, ExecutionPolicy
 from repro.nids.modules import STANDARD_MODULES
 from repro.topology import PathSet, internet2
 from repro.traffic import GeneratorConfig, TrafficGenerator
@@ -69,10 +69,12 @@ def run_engine_benchmark(num_sessions: int, seed: int = 51) -> dict:
     traces = generator.split_by_node(list(sessions), transit=True)
     dispatches = sum(len(trace) for trace in traces.values())
 
+    traffic = Traffic.materialized(generator, sessions)
+
     def timed(config: EmulationConfig):
         dep = dataclasses.replace(deployment, _shared_hash_cache={})
         start = time.perf_counter()
-        usage = emulate_coordinated(dep, generator, sessions, config=config)
+        usage = run_emulation(traffic, dep, config=config)
         return time.perf_counter() - start, usage
 
     scalar_seconds, scalar_usage = timed(
@@ -94,11 +96,10 @@ def run_engine_benchmark(num_sessions: int, seed: int = 51) -> dict:
     dep = dataclasses.replace(deployment, _shared_hash_cache={})
     chunk_size = max(1, min(DEFAULT_CHUNK, num_sessions // 4 or 1))
     start = time.perf_counter()
-    stream_usage = emulate_coordinated_stream(
+    stream_usage = run_emulation(
+        Traffic.chunked(generator, generator.generate_chunks(num_sessions, chunk_size)),
         dep,
-        generator,
-        generator.generate_chunks(num_sessions, chunk_size),
-        config=EmulationConfig(),
+        config=EmulationConfig(policy=ExecutionPolicy.streamed()),
     )
     stream_seconds = time.perf_counter() - start
     stream_identical = _usage_digest(stream_usage) == digests["full_batch"]
@@ -112,7 +113,9 @@ def run_engine_benchmark(num_sessions: int, seed: int = 51) -> dict:
         subset = sessions[:size]
         dep = dataclasses.replace(deployment, _shared_hash_cache={})
         start = time.perf_counter()
-        emulate_coordinated(dep, generator, subset, config=EmulationConfig())
+        run_emulation(
+            Traffic.materialized(generator, subset), dep, config=EmulationConfig()
+        )
         elapsed = time.perf_counter() - start
         node_sessions = sum(
             len(trace)
@@ -170,18 +173,18 @@ def _child_main(argv) -> None:
     )
     start = time.perf_counter()
     if mode == "materialize":
-        usage = emulate_coordinated(
+        usage = run_emulation(
+            Traffic.materialized(generator, generator.generate(num_sessions)),
             deployment,
-            generator,
-            generator.generate(num_sessions),
             config=EmulationConfig(),
         )
     else:
-        usage = emulate_coordinated_stream(
+        usage = run_emulation(
+            Traffic.chunked(
+                generator, generator.generate_chunks(num_sessions, chunk)
+            ),
             deployment,
-            generator,
-            generator.generate_chunks(num_sessions, chunk),
-            config=EmulationConfig(),
+            config=EmulationConfig(policy=ExecutionPolicy.streamed()),
         )
     elapsed = time.perf_counter() - start
     rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss

@@ -6,6 +6,12 @@ paper's headline comparison — maximum per-node CPU and memory — plus
 the per-node Fig. 8 profile showing how coordination offloads the New
 York hotspot onto transit nodes.
 
+Both runs go through the unified :func:`repro.nids.run_emulation`
+entry point: hand it module specs for the edge-only baseline, hand it
+the planned ``NIDSDeployment`` for the coordinated run.  (The old
+``emulate_edge`` / ``emulate_coordinated`` names still work but emit
+``DeprecationWarning``.)
+
 Run:  python examples/nids_network_wide.py  [#sessions]
 """
 
@@ -13,7 +19,7 @@ import sys
 
 from repro.experiments import fig8_per_node_profile
 from repro.experiments.nids_network_wide import NetworkWideSetup
-from repro.nids.emulation import emulate_coordinated, emulate_edge
+from repro.nids.emulation import Traffic, run_emulation
 from repro.nids.modules import module_set
 
 
@@ -25,8 +31,9 @@ def main() -> None:
     print(f"{num_sessions} sessions, {len(modules)} NIDS modules on Internet2\n")
 
     deployment = setup.deployment(sessions, 21)
-    edge = emulate_edge(setup.generator, sessions, modules)
-    coordinated = emulate_coordinated(deployment, setup.generator, sessions)
+    traffic = Traffic.materialized(setup.generator, sessions)
+    edge = run_emulation(traffic, modules)
+    coordinated = run_emulation(traffic, deployment)
 
     print("maximum per-node footprints:")
     print(f"  edge-only    cpu={edge.max_cpu:>12.0f}  mem={edge.max_mem_mb:>7.1f} MB")

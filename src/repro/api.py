@@ -14,9 +14,13 @@ The facade groups into five areas:
   :func:`generate_manifests` / :func:`verify_manifests`, and the NIPS
   side (:func:`build_nips_problem`, :func:`solve_relaxation`,
   :func:`best_of_roundings`);
-* **emulation** — :class:`EmulationConfig` plus
-  :func:`emulate_edge` / :func:`emulate_coordinated` /
-  :func:`compare_deployments` and :class:`BroMode`;
+* **emulation** — :func:`run_emulation` over a :class:`Traffic`
+  (edge-only when handed module specs, coordinated when handed an
+  :class:`NIDSDeployment`), configured by :class:`EmulationConfig`
+  with an :class:`ExecutionPolicy` (inline | streamed | sharded),
+  plus :func:`compare_deployments` and :class:`BroMode`; the old
+  ``emulate_edge`` / ``emulate_coordinated`` (and ``*_stream``) names
+  remain as deprecated wrappers;
 * **coordination plane** — :func:`run_scenario`,
   :class:`ScenarioConfig`, :func:`standard_scenario`;
 * **telemetry** — :class:`MetricsRegistry`, :data:`NULL_REGISTRY`,
@@ -30,8 +34,10 @@ Quickstart::
 
     deployment = api.quick_nids_deployment()
     registry = api.MetricsRegistry()
-    profile = api.emulate_coordinated(
-        deployment, generator, sessions, registry=registry
+    profile = api.run_emulation(
+        api.Traffic.materialized(generator, sessions),
+        deployment,
+        registry=registry,
     )
     api.MetricsSnapshotReport(registry).write(sys.stdout, fmt="json")
 """
@@ -64,9 +70,15 @@ from .core import (
 from .nids import (
     BroMode,
     EmulationConfig,
+    ExecutionMode,
+    ExecutionPolicy,
+    Traffic,
     compare_deployments,
     emulate_coordinated,
+    emulate_coordinated_stream,
     emulate_edge,
+    emulate_edge_stream,
+    run_emulation,
 )
 
 # -- coordination plane ----------------------------------------------------
@@ -135,9 +147,15 @@ __all__ = [
     # emulation
     "BroMode",
     "EmulationConfig",
+    "ExecutionMode",
+    "ExecutionPolicy",
+    "Traffic",
     "compare_deployments",
     "emulate_coordinated",
+    "emulate_coordinated_stream",
     "emulate_edge",
+    "emulate_edge_stream",
+    "run_emulation",
     # coordination plane
     "ScenarioConfig",
     "ScenarioResult",

@@ -5,7 +5,8 @@ Gives operators the paper's workflow without writing Python:
 * ``plan-nids`` — plan a coordinated NIDS deployment and emit the
   per-node sampling manifests as JSON;
 * ``emulate`` — compare edge-only vs. coordinated deployments on a
-  generated trace;
+  generated trace (``--execution inline|streamed|sharded`` picks the
+  execution policy; all three produce bit-identical reports);
 * ``solve-nips`` — TCAM-constrained rule placement via the rounding
   pipeline;
 * ``microbench`` — the Fig. 5 coordination-overhead table;
@@ -16,7 +17,7 @@ Gives operators the paper's workflow without writing Python:
   scenario grid across worker processes with a content-addressed
   artifact cache, and consolidate one deterministic report;
 * ``analysis lint`` / ``analysis verify`` — domain static analysis:
-  AST lint rules (REP001-REP005) and offline verification of planning
+  AST lint rules (REP001-REP006) and offline verification of planning
   artifacts against the deployment invariants (REP101-REP108);
 * ``figures`` — write per-figure CSV artifacts.
 
@@ -41,7 +42,8 @@ from .core.nips_milp import (
 )
 from .core.online import FPLConfig, run_online_adaptation
 from .core.rounding import RoundingVariant, best_of_roundings
-from .nids.emulation import emulate_coordinated, emulate_edge
+from .nids.emulation import Traffic, run_emulation
+from .nids.engine import EmulationConfig, ExecutionPolicy
 from .nids.microbench import format_microbench_table, run_microbenchmark
 from .nids.modules import module_set
 from .nips.adversary import UniformProcess
@@ -129,9 +131,22 @@ def cmd_emulate(args) -> int:
     topology, paths, generator, sessions = _build_world(args)
     modules = module_set(args.modules)
     deployment = plan_deployment(topology, paths, modules, sessions)
-    edge = emulate_edge(generator, sessions, modules)
-    coordinated = emulate_coordinated(deployment, generator, sessions)
-    print(f"{len(sessions)} sessions, {len(modules)} modules on {topology.name}")
+    if args.execution == "sharded":
+        policy = ExecutionPolicy.sharded(
+            jobs=args.jobs, chunk_size=args.chunk_size
+        )
+    elif args.execution == "streamed":
+        policy = ExecutionPolicy.streamed(chunk_size=args.chunk_size)
+    else:
+        policy = ExecutionPolicy.inline()
+    config = EmulationConfig(policy=policy)
+    traffic = Traffic.materialized(generator, sessions)
+    edge = run_emulation(traffic, modules, config=config)
+    coordinated = run_emulation(traffic, deployment, config=config)
+    print(
+        f"{len(sessions)} sessions, {len(modules)} modules on"
+        f" {topology.name} ({args.execution})"
+    )
     print(f"{'deployment':<12} {'max cpu':>14} {'max mem (MB)':>14}")
     print(f"{'edge-only':<12} {edge.max_cpu:>14.0f} {edge.max_mem_mb:>14.1f}")
     print(
@@ -142,6 +157,17 @@ def cmd_emulate(args) -> int:
         f"{'reduction':<12} {1 - coordinated.max_cpu / edge.max_cpu:>13.1%}"
         f" {1 - coordinated.max_mem_mb / edge.max_mem_mb:>13.1%}"
     )
+    if args.output:
+        import json
+
+        payload = {
+            "edge": edge.to_dict(),
+            "coordinated": coordinated.to_dict(),
+        }
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote emulation report to {args.output}")
     return 0
 
 
@@ -478,6 +504,23 @@ def build_parser() -> argparse.ArgumentParser:
     emulate = sub.add_parser("emulate", help="edge-only vs. coordinated emulation")
     common_world(emulate)
     emulate.add_argument("--modules", type=int, default=21)
+    emulate.add_argument(
+        "--execution",
+        choices=["inline", "streamed", "sharded"],
+        default="inline",
+        help="execution policy (all three are bit-identical)",
+    )
+    add_jobs_option(emulate)
+    emulate.add_argument(
+        "--chunk-size",
+        type=int,
+        default=50_000,
+        help="sessions per shard/stream chunk",
+    )
+    emulate.add_argument(
+        "--output",
+        help="write the edge/coordinated usage reports as deterministic JSON",
+    )
     emulate.set_defaults(func=cmd_emulate)
 
     nips = sub.add_parser("solve-nips", help="TCAM-constrained rule placement")

@@ -17,8 +17,8 @@ from ..nids.emulation import (
     ComparisonRow,
     DeploymentUsage,
     EmulationConfig,
-    emulate_coordinated,
-    emulate_edge,
+    Traffic,
+    run_emulation,
 )
 from ..nids.modules import module_set
 from ..nids.resources import CostModel, DEFAULT_COST_MODEL
@@ -79,11 +79,12 @@ def fig6_module_scaling(
     config = EmulationConfig(cost_model=cost_model)
     total = sessions_total if sessions_total is not None else scaled(PAPER_SESSIONS)
     sessions = setup.generator.generate(total)
+    traffic = Traffic.materialized(setup.generator, sessions)
     rows = []
     for count in module_counts:
         deployment = setup.deployment(sessions, count)
-        edge = emulate_edge(setup.generator, sessions, deployment.modules, config=config)
-        coord = emulate_coordinated(deployment, setup.generator, sessions, config=config)
+        edge = run_emulation(traffic, deployment.modules, config=config)
+        coord = run_emulation(traffic, deployment, config=config)
         rows.append(
             ComparisonRow(
                 x=count,
@@ -112,9 +113,10 @@ def fig7_volume_scaling(
     rows = []
     for volume in volume_points:
         sessions = setup.generator.generate(scaled(volume))
+        traffic = Traffic.materialized(setup.generator, sessions)
         deployment = setup.deployment(sessions, num_modules)
-        edge = emulate_edge(setup.generator, sessions, deployment.modules, config=config)
-        coord = emulate_coordinated(deployment, setup.generator, sessions, config=config)
+        edge = run_emulation(traffic, deployment.modules, config=config)
+        coord = run_emulation(traffic, deployment, config=config)
         rows.append(
             ComparisonRow(
                 x=volume,
@@ -165,9 +167,10 @@ def fig8_per_node_profile(
     config = EmulationConfig(cost_model=cost_model)
     total = sessions_total if sessions_total is not None else scaled(PAPER_SESSIONS)
     sessions = setup.generator.generate(total)
+    traffic = Traffic.materialized(setup.generator, sessions)
     deployment = setup.deployment(sessions, num_modules)
-    edge = emulate_edge(setup.generator, sessions, deployment.modules, config=config)
-    coord = emulate_coordinated(deployment, setup.generator, sessions, config=config)
+    edge = run_emulation(traffic, deployment.modules, config=config)
+    coord = run_emulation(traffic, deployment, config=config)
     return PerNodeProfile(
         nodes=setup.topology.node_names, edge=edge, coordinated=coord
     )

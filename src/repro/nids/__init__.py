@@ -23,10 +23,15 @@ _LAZY_EXPORTS = {
     "BroInstance": ("repro.nids.engine", "BroInstance"),
     "BroMode": ("repro.nids.engine", "BroMode"),
     "EmulationConfig": ("repro.nids.engine", "EmulationConfig"),
+    "ExecutionMode": ("repro.nids.engine", "ExecutionMode"),
+    "ExecutionPolicy": ("repro.nids.engine", "ExecutionPolicy"),
     "InstanceReport": ("repro.nids.engine", "InstanceReport"),
     "PartialInstanceReport": ("repro.nids.engine", "PartialInstanceReport"),
     "ComparisonRow": ("repro.nids.emulation", "ComparisonRow"),
     "DeploymentUsage": ("repro.nids.emulation", "DeploymentUsage"),
+    "Traffic": ("repro.nids.emulation", "Traffic"),
+    "run_emulation": ("repro.nids.emulation", "run_emulation"),
+    "run_sharded": ("repro.nids.shard", "run_sharded"),
     "compare_deployments": ("repro.nids.emulation", "compare_deployments"),
     "emulate_coordinated": ("repro.nids.emulation", "emulate_coordinated"),
     "emulate_coordinated_stream": ("repro.nids.emulation", "emulate_coordinated_stream"),
@@ -81,8 +86,11 @@ __all__ = [
     "DeploymentUsage",
     "Detector",
     "EmulationConfig",
+    "ExecutionMode",
+    "ExecutionPolicy",
     "InstanceReport",
     "PartialInstanceReport",
+    "Traffic",
     "MicrobenchRow",
     "ModuleSpec",
     "ResourceUsage",
@@ -98,5 +106,7 @@ __all__ = [
     "make_detector",
     "module_by_name",
     "module_set",
+    "run_emulation",
     "run_microbenchmark",
+    "run_sharded",
 ]

@@ -15,9 +15,10 @@ aggregate across connections that hash to *different* workers, so the
 cluster must either replicate those packets to the responsible worker
 or forward per-connection state — the overhead term the paper cites.
 
-This gives the third comparison point next to ``emulate_edge`` and
-``emulate_coordinated``: same total analysis work, but concentrated at
-one location and inflated by replication.
+This gives the third comparison point next to the edge-only and
+coordinated deployments of :func:`repro.nids.run_emulation`: same
+total analysis work, but concentrated at one location and inflated by
+replication.
 """
 
 from __future__ import annotations

@@ -13,8 +13,9 @@ footprints are reported.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from ..core.nids_deployment import NIDSDeployment
 from ..obs import MetricsRegistry
@@ -26,6 +27,7 @@ from .engine import (
     BroInstance,
     BroMode,
     EmulationConfig,
+    ExecutionMode,
     InstanceReport,
     PartialInstanceReport,
 )
@@ -108,6 +110,223 @@ class DeploymentUsage:
         )
 
 
+@dataclass
+class Traffic:
+    """The trace input to :func:`run_emulation`, with its routing context.
+
+    Folds away the redundant ``(generator, sessions)`` parameter pair
+    the old entry points took: the generator supplies topology and
+    routing (``split_by_node``), and exactly one of three trace
+    sources supplies the sessions —
+
+    * ``sessions`` — an already-materialized trace
+      (:meth:`materialized`);
+    * ``chunks`` — an iterable of session chunks, e.g. from
+      ``TrafficGenerator.generate_chunks`` (:meth:`chunked`; one-shot,
+      as any iterable);
+    * ``num_sessions`` — generate the trace lazily from the
+      generator's seed (:meth:`generate`).
+
+    All sources describe the same accounting result for the same
+    sessions — the engine's reports are order-independent and exact —
+    so the choice only affects memory and execution shape.
+    """
+
+    generator: TrafficGenerator
+    sessions: Optional[Sequence[Session]] = None
+    chunks: Optional[Iterable[Sequence[Session]]] = None
+    num_sessions: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        sources = [
+            source
+            for source in (self.sessions, self.chunks, self.num_sessions)
+            if source is not None
+        ]
+        if len(sources) != 1:
+            raise ValueError(
+                "Traffic needs exactly one of sessions=, chunks=, or"
+                " num_sessions="
+            )
+
+    @classmethod
+    def materialized(
+        cls, generator: TrafficGenerator, sessions: Sequence[Session]
+    ) -> "Traffic":
+        """An already-generated trace."""
+        return cls(generator=generator, sessions=sessions)
+
+    @classmethod
+    def chunked(
+        cls,
+        generator: TrafficGenerator,
+        chunks: Iterable[Sequence[Session]],
+    ) -> "Traffic":
+        """A pre-chunked session stream (one-shot iterable)."""
+        return cls(generator=generator, chunks=chunks)
+
+    @classmethod
+    def generate(cls, generator: TrafficGenerator, num_sessions: int) -> "Traffic":
+        """Generate *num_sessions* lazily from the generator's seed."""
+        if num_sessions < 0:
+            raise ValueError("num_sessions must be >= 0")
+        return cls(generator=generator, num_sessions=num_sessions)
+
+    def materialize(self) -> List[Session]:
+        """The full session list (consumes a ``chunks`` source)."""
+        if self.sessions is not None:
+            return list(self.sessions)
+        if self.num_sessions is not None:
+            return self.generator.generate(self.num_sessions)
+        assert self.chunks is not None
+        return [session for chunk in self.chunks for session in chunk]
+
+    def chunk_iter(self, chunk_size: int) -> Iterator[Sequence[Session]]:
+        """The trace as chunks of at most *chunk_size* sessions."""
+        if self.chunks is not None:
+            yield from self.chunks
+        elif self.num_sessions is not None:
+            yield from self.generator.generate_chunks(
+                self.num_sessions, chunk_size
+            )
+        else:
+            assert self.sessions is not None
+            sessions = self.sessions
+            for start in range(0, len(sessions), chunk_size):
+                yield sessions[start : start + chunk_size]
+
+
+def run_emulation(
+    traffic: Traffic,
+    modules_or_deployment: Union[Sequence[ModuleSpec], NIDSDeployment],
+    *,
+    config: Optional[EmulationConfig] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> DeploymentUsage:
+    """Emulate one deployment over one trace — the unified entry point.
+
+    The second argument selects the deployment style, mirroring the
+    paper's two configurations:
+
+    * a sequence of :class:`~repro.nids.modules.base.ModuleSpec` —
+      **edge-only**: every location independently runs stock Bro
+      (``UNMODIFIED``) on traffic originating or terminating there;
+    * a :class:`~repro.core.nids_deployment.NIDSDeployment` —
+      **coordinated**: every node runs a coordination-enabled instance
+      over its full trace including transit traffic, sampling per its
+      manifest.  ``config.mode`` picks approach 2 (``COORD_EVENT``,
+      the paper's choice and the default) or the approach-1 ablation
+      (``COORD_POLICY``).
+
+    ``config.policy`` (an :class:`~repro.nids.engine.ExecutionPolicy`)
+    selects the execution shape — ``inline`` (materialized,
+    single-process), ``streamed`` (chunked through persistent
+    instances, memory bounded by the chunk size), or ``sharded``
+    (per-node/per-chunk shards on a spawn process pool, merged
+    exactly; see :mod:`repro.nids.shard`).  All three produce
+    bit-identical :class:`DeploymentUsage` reports.  A sharded run
+    launched from inside another worker process (e.g. a sweep cell)
+    falls back to inline execution and counts
+    ``engine_shard_fallback_total``.
+
+    ``registry`` (overriding ``config.registry``) receives runtime
+    telemetry: per-node dispatch counts, hash-cache hits, tracked /
+    light connection tallies, trace throughput, and — for sharded
+    runs — the ``engine_shard_*`` families.
+
+    This supersedes ``emulate_edge`` / ``emulate_coordinated`` /
+    ``emulate_edge_stream`` / ``emulate_coordinated_stream``, which
+    remain as deprecated wrappers.
+    """
+    config = _resolve_config(config, registry)
+    coordinated = isinstance(modules_or_deployment, NIDSDeployment)
+    if coordinated:
+        deployment = modules_or_deployment
+        if config.mode is BroMode.UNMODIFIED:
+            raise ValueError("coordinated emulation requires a coordinated mode")
+        label, transit, mode = "coordinated", True, config.mode
+        modules: Sequence[ModuleSpec] = deployment.modules
+        run_timer = config.registry.timer(
+            "emulate_coordinated_seconds",
+            "wall-clock seconds per coordinated emulation",
+        )
+    else:
+        deployment = None
+        label, transit, mode = "edge", False, BroMode.UNMODIFIED
+        modules = list(modules_or_deployment)
+        run_timer = config.registry.timer(
+            "emulate_edge_seconds",
+            "wall-clock seconds per edge-only emulation",
+        )
+
+    generator = traffic.generator
+
+    def build_instance(node: str) -> BroInstance:
+        return BroInstance(
+            node=node,
+            modules=modules,
+            mode=mode,
+            dispatcher=deployment.dispatcher(node) if coordinated else None,
+            config=config,
+        )
+
+    policy = config.policy
+    with run_timer:
+        if policy.mode is ExecutionMode.STREAMED:
+            instances = {
+                node: build_instance(node)
+                for node in generator.topology.node_names
+            }
+            return _emulate_stream(
+                label,
+                instances,
+                generator,
+                traffic.chunk_iter(policy.chunk_size),
+                transit,
+                config,
+            )
+
+        execution = policy.mode
+        if execution is ExecutionMode.SHARDED:
+            from . import shard
+
+            if shard.in_worker_process():
+                # Oversubscription guard: a sweep cell (or another
+                # shard worker) already runs in a pool; nesting pools
+                # would multiply the process count and can deadlock.
+                config.registry.counter(
+                    "engine_shard_fallback_total",
+                    "sharded runs demoted to inline inside a worker process",
+                ).inc()
+                execution = ExecutionMode.INLINE
+
+        traces = generator.split_by_node(traffic.materialize(), transit=transit)
+        if execution is ExecutionMode.SHARDED:
+            return shard.run_sharded(
+                label,
+                traces,
+                modules,
+                mode,
+                config,
+                node_names=generator.topology.node_names,
+                manifests=deployment.manifests if coordinated else None,
+                hash_seed=deployment.hash_seed if coordinated else 0,
+            )
+        reports = {
+            node: build_instance(node).process_sessions(trace)
+            for node, trace in traces.items()
+        }
+        return DeploymentUsage(label=label, reports=reports)
+
+
+def _deprecated(old: str, hint: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use run_emulation({hint})",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def emulate_edge(
     generator: TrafficGenerator,
     sessions: Sequence[Session],
@@ -118,29 +337,21 @@ def emulate_edge(
     config: Optional[EmulationConfig] = None,
     registry: Optional[MetricsRegistry] = None,
 ) -> DeploymentUsage:
-    """Edge-only deployment: each location independently runs stock Bro
-    on the traffic originating or terminating there.
+    """Deprecated wrapper for the edge-only deployment.
 
-    Run options are carried by ``config``; the bare ``cost_model`` /
-    ``run_detectors`` keywords are deprecated shims.  ``registry``
-    (overriding ``config.registry``) receives runtime telemetry."""
+    Use ``run_emulation(Traffic.materialized(generator, sessions),
+    modules, config=...)``.  This shim folds the historically redundant
+    ``(generator, sessions)`` pair — the generator was only ever used
+    for ``split_by_node`` routing — into a :class:`Traffic`, resolves
+    the deprecated bare keywords (``cost_model`` / ``run_detectors``)
+    into the config, and forwards."""
+    _deprecated("emulate_edge", "Traffic.materialized(generator, sessions), modules")
     config = _resolve_config(
         config, registry, cost_model=cost_model, run_detectors=run_detectors
     )
-    traces = generator.split_by_node(list(sessions), transit=False)
-    reports = {}
-    with config.registry.timer(
-        "emulate_edge_seconds", "wall-clock seconds per edge-only emulation"
-    ):
-        for node, trace in traces.items():
-            instance = BroInstance(
-                node=node,
-                modules=modules,
-                mode=BroMode.UNMODIFIED,
-                config=config,
-            )
-            reports[node] = instance.process_sessions(trace)
-    return DeploymentUsage(label="edge", reports=reports)
+    return run_emulation(
+        Traffic.materialized(generator, sessions), modules, config=config
+    )
 
 
 def emulate_coordinated(
@@ -156,20 +367,16 @@ def emulate_coordinated(
     config: Optional[EmulationConfig] = None,
     registry: Optional[MetricsRegistry] = None,
 ) -> DeploymentUsage:
-    """Coordinated deployment: every node runs a coordination-enabled
-    instance over its full trace including transit traffic, sampling
-    per its manifest.  The default mode is approach 2 (checks as early
-    as possible) — the configuration the paper selects;
-    ``EmulationConfig(mode=BroMode.COORD_POLICY)`` selects the
-    approach-1 ablation.
+    """Deprecated wrapper for the coordinated deployment.
 
-    Run options are carried by ``config``
-    (:class:`~repro.nids.engine.EmulationConfig`); the bare keywords
-    (``cost_model``, ``mode``, ``batch_dispatch``, ...) are deprecated
-    shims kept for pre-config callers.  ``registry`` (overriding
-    ``config.registry``) receives runtime telemetry: per-node dispatch
-    counts, hash-cache hits, tracked/light connection tallies, and
-    trace throughput."""
+    Use ``run_emulation(Traffic.materialized(generator, sessions),
+    deployment, config=...)``.  The bare keywords (``cost_model``,
+    ``mode``, ``batch_dispatch``, ...) are the pre-config shims; they
+    are resolved into the config here and forwarded."""
+    _deprecated(
+        "emulate_coordinated",
+        "Traffic.materialized(generator, sessions), deployment",
+    )
     config = _resolve_config(
         config,
         registry,
@@ -179,24 +386,9 @@ def emulate_coordinated(
         fine_grained=fine_grained,
         batch_dispatch=batch_dispatch,
     )
-    if config.mode is BroMode.UNMODIFIED:
-        raise ValueError("coordinated emulation requires a coordinated mode")
-    traces = generator.split_by_node(list(sessions), transit=True)
-    reports = {}
-    with config.registry.timer(
-        "emulate_coordinated_seconds",
-        "wall-clock seconds per coordinated emulation",
-    ):
-        for node, trace in traces.items():
-            instance = BroInstance(
-                node=node,
-                modules=deployment.modules,
-                mode=config.mode,
-                dispatcher=deployment.dispatcher(node),
-                config=config,
-            )
-            reports[node] = instance.process_sessions(trace)
-    return DeploymentUsage(label="coordinated", reports=reports)
+    return run_emulation(
+        Traffic.materialized(generator, sessions), deployment, config=config
+    )
 
 
 def _emulate_stream(
@@ -240,6 +432,21 @@ def _emulate_stream(
     return DeploymentUsage(label=label, reports=reports)
 
 
+def _streamed_config(
+    config: Optional[EmulationConfig], registry: Optional[MetricsRegistry]
+) -> EmulationConfig:
+    """Resolve a wrapper config and force the streamed execution mode."""
+    from dataclasses import replace
+
+    config = _resolve_config(config, registry)
+    if config.policy.mode is not ExecutionMode.STREAMED:
+        config = replace(
+            config,
+            policy=replace(config.policy, mode=ExecutionMode.STREAMED),
+        )
+    return config
+
+
 def emulate_edge_stream(
     generator: TrafficGenerator,
     session_chunks: Iterable[Sequence[Session]],
@@ -248,25 +455,21 @@ def emulate_edge_stream(
     config: Optional[EmulationConfig] = None,
     registry: Optional[MetricsRegistry] = None,
 ) -> DeploymentUsage:
-    """Edge-only deployment over a chunked session stream.
+    """Deprecated wrapper for the edge-only streamed run.
 
-    Memory-bounded variant of :func:`emulate_edge`: only one chunk
-    (typically from ``TrafficGenerator.generate_chunks``) is resident
-    at a time, and the consolidated report is bit-identical to the
-    materialize-all run over the same sessions."""
-    config = _resolve_config(config, registry)
-    instances = {
-        node: BroInstance(
-            node=node, modules=modules, mode=BroMode.UNMODIFIED, config=config
-        )
-        for node in generator.topology.node_names
-    }
-    with config.registry.timer(
-        "emulate_edge_seconds", "wall-clock seconds per edge-only emulation"
-    ):
-        return _emulate_stream(
-            "edge", instances, generator, session_chunks, False, config
-        )
+    Use ``run_emulation(Traffic.chunked(generator, session_chunks),
+    modules, config=EmulationConfig(policy=ExecutionPolicy.streamed()))``
+    — this shim forces the streamed policy and forwards."""
+    _deprecated(
+        "emulate_edge_stream",
+        "Traffic.chunked(generator, chunks), modules,"
+        " config=EmulationConfig(policy=ExecutionPolicy.streamed())",
+    )
+    return run_emulation(
+        Traffic.chunked(generator, session_chunks),
+        modules,
+        config=_streamed_config(config, registry),
+    )
 
 
 def emulate_coordinated_stream(
@@ -277,30 +480,21 @@ def emulate_coordinated_stream(
     config: Optional[EmulationConfig] = None,
     registry: Optional[MetricsRegistry] = None,
 ) -> DeploymentUsage:
-    """Coordinated deployment over a chunked session stream.
+    """Deprecated wrapper for the coordinated streamed run.
 
-    Memory-bounded variant of :func:`emulate_coordinated` with the same
-    bit-identical-report guarantee as :func:`emulate_edge_stream`."""
-    config = _resolve_config(config, registry)
-    if config.mode is BroMode.UNMODIFIED:
-        raise ValueError("coordinated emulation requires a coordinated mode")
-    instances = {
-        node: BroInstance(
-            node=node,
-            modules=deployment.modules,
-            mode=config.mode,
-            dispatcher=deployment.dispatcher(node),
-            config=config,
-        )
-        for node in generator.topology.node_names
-    }
-    with config.registry.timer(
-        "emulate_coordinated_seconds",
-        "wall-clock seconds per coordinated emulation",
-    ):
-        return _emulate_stream(
-            "coordinated", instances, generator, session_chunks, True, config
-        )
+    Use ``run_emulation(Traffic.chunked(generator, session_chunks),
+    deployment, config=EmulationConfig(policy=ExecutionPolicy.streamed()))``
+    — this shim forces the streamed policy and forwards."""
+    _deprecated(
+        "emulate_coordinated_stream",
+        "Traffic.chunked(generator, chunks), deployment,"
+        " config=EmulationConfig(policy=ExecutionPolicy.streamed())",
+    )
+    return run_emulation(
+        Traffic.chunked(generator, session_chunks),
+        deployment,
+        config=_streamed_config(config, registry),
+    )
 
 
 @dataclass
@@ -336,8 +530,9 @@ def compare_deployments(
 ) -> ComparisonRow:
     """Emulate both deployments and return the max-load comparison."""
     config = _resolve_config(config, registry, cost_model=cost_model)
-    edge = emulate_edge(generator, sessions, deployment.modules, config=config)
-    coordinated = emulate_coordinated(deployment, generator, sessions, config=config)
+    traffic = Traffic.materialized(generator, sessions)
+    edge = run_emulation(traffic, deployment.modules, config=config)
+    coordinated = run_emulation(traffic, deployment, config=config)
     return ComparisonRow(
         x=x,
         edge_cpu=edge.max_cpu,

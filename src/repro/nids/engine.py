@@ -66,6 +66,71 @@ class BroMode(enum.Enum):
     COORD_EVENT = "coord-event"
 
 
+class ExecutionMode(enum.Enum):
+    """How an emulation run is executed (not *what* it computes).
+
+    All three modes produce bit-identical :class:`InstanceReport`\\ s —
+    the exact-accounting contract above — so the choice is purely an
+    operational trade: memory footprint, wall-clock, process count.
+    """
+
+    #: Materialize the trace and process each node trace in one call.
+    INLINE = "inline"
+    #: Chunked streaming through persistent per-node instances
+    #: (memory bounded by the chunk size, not the trace size).
+    STREAMED = "streamed"
+    #: Per-node (and per-chunk for hot nodes) shards fanned out to a
+    #: spawn-safe process pool, partials merged in the parent
+    #: (:mod:`repro.nids.shard`).
+    SHARDED = "sharded"
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Execution strategy for :func:`~repro.nids.emulation.run_emulation`.
+
+    ``jobs`` is the worker-process count for the sharded mode (``0``
+    means one per CPU); ``chunk_size`` bounds both the streamed chunk
+    length and the per-shard session count for hot nodes;
+    ``mp_context`` names the multiprocessing start method (``spawn``
+    is the only start method safe on every platform and is what the
+    shard workers are written against).
+    """
+
+    mode: ExecutionMode = ExecutionMode.INLINE
+    jobs: int = 0
+    chunk_size: int = 50_000
+    mp_context: str = "spawn"
+
+    def __post_init__(self) -> None:
+        if self.jobs < 0:
+            raise ValueError("jobs must be >= 0 (0 means one per CPU)")
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+
+    @classmethod
+    def inline(cls) -> "ExecutionPolicy":
+        """The default single-process, materialized execution."""
+        return cls()
+
+    @classmethod
+    def streamed(cls, chunk_size: int = 50_000) -> "ExecutionPolicy":
+        """Chunked streaming with the given chunk size."""
+        return cls(mode=ExecutionMode.STREAMED, chunk_size=chunk_size)
+
+    @classmethod
+    def sharded(
+        cls, jobs: int = 0, chunk_size: int = 50_000, mp_context: str = "spawn"
+    ) -> "ExecutionPolicy":
+        """Process-pool sharding with *jobs* workers."""
+        return cls(
+            mode=ExecutionMode.SHARDED,
+            jobs=jobs,
+            chunk_size=chunk_size,
+            mp_context=mp_context,
+        )
+
+
 @dataclass(frozen=True)
 class EmulationConfig:
     """Run configuration for emulation entry points and instances.
@@ -78,7 +143,9 @@ class EmulationConfig:
     :class:`BroInstance`, whose explicit ``mode`` argument is
     authoritative).  ``registry`` receives runtime telemetry; the
     default :data:`~repro.obs.NULL_REGISTRY` makes every recording a
-    no-op.
+    no-op.  ``policy`` selects how
+    :func:`~repro.nids.emulation.run_emulation` executes the run
+    (inline / streamed / sharded); it never changes what is computed.
     """
 
     mode: BroMode = BroMode.COORD_EVENT
@@ -92,6 +159,7 @@ class EmulationConfig:
     #: sessions and as the reference semantics.
     batch_engine: bool = True
     registry: MetricsRegistry = NULL_REGISTRY
+    policy: ExecutionPolicy = ExecutionPolicy()
 
 
 class _Unset:

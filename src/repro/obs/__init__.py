@@ -9,7 +9,7 @@ so instrumentation costs nothing until a caller opts in.
 
 Two ways to wire a registry in:
 
-* **explicitly** — ``emulate_coordinated(..., registry=reg)``,
+* **explicitly** — ``run_emulation(..., registry=reg)``,
   ``run_scenario(config, registry=reg)``, ``Controller(...,
   registry=reg)``: the component records into the registry you hand
   it;
@@ -24,8 +24,8 @@ Quickstart::
 
     registry = MetricsRegistry()
     with use_registry(registry):
-        usage = emulate_coordinated(deployment, generator, sessions,
-                                    registry=registry)
+        usage = run_emulation(Traffic.materialized(generator, sessions),
+                              deployment, registry=registry)
     print(json.dumps(registry.snapshot(), indent=2))
 
 See ``docs/observability.md`` for the metric catalogue.

@@ -18,7 +18,8 @@ from repro.control.bus import Bus
 from repro.core.dispatch import CoordinatedDispatcher
 from repro.core.manifest import full_manifest
 from repro.core.nids_deployment import plan_deployment
-from repro.nids.emulation import emulate_coordinated
+from repro.nids.emulation import Traffic, run_emulation
+from repro.nids.engine import EmulationConfig
 from repro.nids.modules import STANDARD_MODULES
 from repro.topology import PathSet, internet2
 from repro.traffic import GeneratorConfig, TrafficGenerator
@@ -106,18 +107,19 @@ class TestDispatcherEquivalence:
 
 class TestEmulationEquivalence:
     def test_batch_emulation_report_identical_to_scalar(self, deployment_setup):
-        """emulate_coordinated(batch_dispatch=True) produces the exact
-        report of the scalar path: same CPU, memory, connection counts,
-        per-module loads — on every node."""
+        """Coordinated emulation with ``batch_dispatch=True`` produces
+        the exact report of the scalar path: same CPU, memory,
+        connection counts, per-module loads — on every node."""
         topo, generator, sessions, deployment = deployment_setup
         # Fresh private hash caches so neither run warms the other.
         dep_a = dataclasses.replace(deployment, _shared_hash_cache={})
         dep_b = dataclasses.replace(deployment, _shared_hash_cache={})
-        scalar = emulate_coordinated(
-            dep_a, generator, sessions, batch_dispatch=False
+        traffic = Traffic.materialized(generator, sessions)
+        scalar = run_emulation(
+            traffic, dep_a, config=EmulationConfig(batch_dispatch=False)
         )
-        batch = emulate_coordinated(
-            dep_b, generator, sessions, batch_dispatch=True
+        batch = run_emulation(
+            traffic, dep_b, config=EmulationConfig(batch_dispatch=True)
         )
         assert set(scalar.reports) == set(batch.reports)
         for node in scalar.reports:

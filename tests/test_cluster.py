@@ -115,11 +115,13 @@ class TestAgainstCoordination:
         replication tax on every cross-worker host aggregate."""
         topo, generator, sessions = world
         from repro.core.nids_deployment import plan_deployment
-        from repro.nids.emulation import emulate_coordinated
+        from repro.nids.emulation import Traffic, run_emulation
 
         topo2 = topo.copy().set_uniform_capacities(cpu=1.0, mem=1.0)
         deployment = plan_deployment(topo2, generator.paths, modules, sessions)
-        coordinated = emulate_coordinated(deployment, generator, sessions)
+        coordinated = run_emulation(
+            Traffic.materialized(generator, sessions), deployment
+        )
         cluster = emulate_cluster("NYCM", sessions, modules, num_workers=11)
 
         expected_module_work = sum(

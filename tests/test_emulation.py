@@ -6,11 +6,11 @@ from repro.core.dispatch import CoordinatedDispatcher, UnitResolver
 from repro.core.manifest import full_manifest
 from repro.core.nids_deployment import plan_deployment
 from repro.nids.emulation import (
+    Traffic,
     compare_deployments,
-    emulate_coordinated,
-    emulate_edge,
+    run_emulation,
 )
-from repro.nids.engine import BroInstance, BroMode
+from repro.nids.engine import BroInstance, BroMode, EmulationConfig
 from repro.nids.modules import STANDARD_MODULES, module_set
 from repro.topology import PathSet, internet2
 from repro.traffic import GeneratorConfig, TrafficGenerator
@@ -29,13 +29,15 @@ def world():
 @pytest.fixture(scope="module")
 def edge(world):
     _, generator, sessions, deployment = world
-    return emulate_edge(generator, sessions, deployment.modules)
+    return run_emulation(
+        Traffic.materialized(generator, sessions), deployment.modules
+    )
 
 
 @pytest.fixture(scope="module")
 def coordinated(world):
     _, generator, sessions, deployment = world
-    return emulate_coordinated(deployment, generator, sessions)
+    return run_emulation(Traffic.materialized(generator, sessions), deployment)
 
 
 class TestHeadlineResults:
@@ -77,19 +79,22 @@ class TestFunctionalEquivalence:
             modules=STANDARD_MODULES,
             resolver=UnitResolver(topo.node_names),
         )
+        detect = EmulationConfig(run_detectors=True)
         standalone = BroInstance(
             "standalone",
             STANDARD_MODULES,
             BroMode.UNMODIFIED,
-            run_detectors=True,
+            config=detect,
         ).process_sessions(sessions)
         standalone_keys = {a.key() for a in standalone.alerts}
 
         small_deployment = plan_deployment(
             topo, generator.paths, STANDARD_MODULES, sessions
         )
-        coordinated = emulate_coordinated(
-            small_deployment, generator, sessions, run_detectors=True
+        coordinated = run_emulation(
+            Traffic.materialized(generator, sessions),
+            small_deployment,
+            config=detect,
         )
         assert coordinated.alert_keys() == standalone_keys
 

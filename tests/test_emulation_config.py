@@ -6,9 +6,11 @@ import pytest
 
 from repro.core.nids_deployment import plan_deployment
 from repro.nids.emulation import (
+    Traffic,
     compare_deployments,
-    emulate_coordinated,
-    emulate_edge,
+    emulate_coordinated,  # repnoqa: REP006 -- deprecation path under test
+    emulate_edge,  # repnoqa: REP006 -- deprecation path under test
+    run_emulation,
 )
 from repro.nids.engine import BroInstance, BroMode, EmulationConfig
 from repro.nids.modules import STANDARD_MODULES, module_set
@@ -60,13 +62,34 @@ class TestDeprecationShims:
     def test_legacy_kwargs_warn_and_still_work(self, world):
         generator, sessions, modules, _ = world
         with pytest.warns(DeprecationWarning, match="cost_model"):
-            usage = emulate_edge(generator, sessions, modules, cost_model=DEFAULT_COST_MODEL)
+            usage = emulate_edge(generator, sessions, modules, cost_model=DEFAULT_COST_MODEL)  # repnoqa: REP006
         assert usage.reports
+
+    def test_wrapper_entrypoints_warn(self, world):
+        generator, sessions, modules, deployment = world
+        with pytest.warns(DeprecationWarning, match="emulate_edge is deprecated"):
+            emulate_edge(generator, sessions, modules)  # repnoqa: REP006
+        with pytest.warns(
+            DeprecationWarning, match="emulate_coordinated is deprecated"
+        ):
+            emulate_coordinated(deployment, generator, sessions)  # repnoqa: REP006
+
+    def test_wrappers_match_run_emulation_exactly(self, world):
+        generator, sessions, modules, deployment = world
+        traffic = Traffic.materialized(generator, sessions)
+        with pytest.warns(DeprecationWarning):
+            legacy_edge = emulate_edge(generator, sessions, modules)  # repnoqa: REP006
+        with pytest.warns(DeprecationWarning):
+            legacy_coord = emulate_coordinated(deployment, generator, sessions)  # repnoqa: REP006
+        assert legacy_edge.to_dict() == run_emulation(traffic, modules).to_dict()
+        assert (
+            legacy_coord.to_dict() == run_emulation(traffic, deployment).to_dict()
+        )
 
     def test_legacy_kwargs_on_coordinated(self, world):
         generator, sessions, _, deployment = world
         with pytest.warns(DeprecationWarning, match="batch_dispatch"):
-            usage = emulate_coordinated(
+            usage = emulate_coordinated(  # repnoqa: REP006
                 deployment, generator, sessions, batch_dispatch=False
             )
         assert usage.reports
@@ -77,20 +100,22 @@ class TestDeprecationShims:
                 node="NYCM",
                 modules=STANDARD_MODULES[:2],
                 mode=BroMode.UNMODIFIED,
-                run_detectors=True,
+                run_detectors=True,  # repnoqa: REP006
             )
         assert instance.config.run_detectors is True
 
-    def test_config_path_does_not_warn(self, world):
+    def test_run_emulation_does_not_warn(self, world):
         generator, sessions, modules, _ = world
+        traffic = Traffic.materialized(generator, sessions)
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
-            emulate_edge(generator, sessions, modules, config=EmulationConfig())
+            run_emulation(traffic, modules, config=EmulationConfig())
 
     def test_mixing_config_and_legacy_raises(self, world):
         generator, sessions, modules, _ = world
-        with pytest.raises(TypeError, match="not both"):
-            emulate_edge(
+        with pytest.raises(TypeError, match="not both"), warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            emulate_edge(  # repnoqa: REP006
                 generator,
                 sessions,
                 modules,
@@ -100,11 +125,11 @@ class TestDeprecationShims:
 
     def test_coordinated_rejects_unmodified_mode(self, world):
         generator, sessions, _, deployment = world
+        traffic = Traffic.materialized(generator, sessions)
         with pytest.raises(ValueError):
-            emulate_coordinated(
+            run_emulation(
+                traffic,
                 deployment,
-                generator,
-                sessions,
                 config=EmulationConfig(mode=BroMode.UNMODIFIED),
             )
 
@@ -112,7 +137,8 @@ class TestDeprecationShims:
         generator, sessions, modules, _ = world
         registry = MetricsRegistry()
         config = EmulationConfig()  # registry: NULL_REGISTRY
-        emulate_edge(generator, sessions, modules, config=config, registry=registry)
+        traffic = Traffic.materialized(generator, sessions)
+        run_emulation(traffic, modules, config=config, registry=registry)
         assert registry.get("emulate_edge_seconds").count() == 1
         # The caller's config object itself is untouched.
         assert config.registry is NULL_REGISTRY
@@ -122,8 +148,8 @@ class TestRegistryIntegration:
     def test_session_counts_match_profile_exactly(self, world):
         generator, sessions, _, deployment = world
         registry = MetricsRegistry()
-        usage = emulate_coordinated(
-            deployment, generator, sessions, registry=registry
+        usage = run_emulation(
+            Traffic.materialized(generator, sessions), deployment, registry=registry
         )
         counter = registry.get("dispatch_sessions_total")
         traces = generator.split_by_node(list(sessions), transit=True)
@@ -141,13 +167,15 @@ class TestRegistryIntegration:
     def test_hash_cache_counters_propagate(self, world):
         generator, sessions, _, deployment = world
         registry = MetricsRegistry()
-        emulate_coordinated(deployment, generator, sessions, registry=registry)
+        run_emulation(
+            Traffic.materialized(generator, sessions), deployment, registry=registry
+        )
         batched = registry.get("hash_batch_computed_total")
         assert batched is not None and batched.total() > 0
 
     def test_null_registry_default_records_nothing(self, world):
         generator, sessions, _, deployment = world
-        usage = emulate_coordinated(deployment, generator, sessions)
+        usage = run_emulation(Traffic.materialized(generator, sessions), deployment)
         assert usage.reports
         assert NULL_REGISTRY.metrics() == []
 
@@ -182,6 +210,9 @@ class TestApiFacade:
 
         for name in (
             "plan_deployment",
+            "run_emulation",
+            "Traffic",
+            "ExecutionPolicy",
             "emulate_coordinated",
             "EmulationConfig",
             "run_scenario",

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.core.nids_deployment import plan_deployment
-from repro.nids.emulation import emulate_coordinated, emulate_edge
+from repro.nids.emulation import Traffic, run_emulation
+from repro.nids.engine import EmulationConfig
 from repro.nids.modules import (
     EXTENDED_MODULES,
     STANDARD_MODULES,
@@ -41,8 +42,9 @@ class TestPlanningWithExtendedSet(object):
         topo, paths, generator, sessions = world
         modules = list(STANDARD_MODULES) + list(EXTENDED_MODULES)
         deployment = plan_deployment(topo, paths, modules, sessions)
-        edge = emulate_edge(generator, sessions, modules)
-        coord = emulate_coordinated(deployment, generator, sessions)
+        traffic = Traffic.materialized(generator, sessions)
+        edge = run_emulation(traffic, modules)
+        coord = run_emulation(traffic, deployment)
         assert coord.max_cpu < edge.max_cpu
 
     def test_smtp_units_exist(self, world):
@@ -61,12 +63,13 @@ class TestPlanningWithExtendedSet(object):
         from repro.nids.engine import BroInstance, BroMode
 
         modules = list(STANDARD_MODULES) + list(EXTENDED_MODULES)
+        detect = EmulationConfig(run_detectors=True)
         standalone = BroInstance(
-            "standalone", modules, BroMode.UNMODIFIED, run_detectors=True
+            "standalone", modules, BroMode.UNMODIFIED, config=detect
         ).process_sessions(sessions)
         deployment = plan_deployment(topo, paths, modules, sessions)
-        coord = emulate_coordinated(
-            deployment, generator, sessions, run_detectors=True
+        coord = run_emulation(
+            Traffic.materialized(generator, sessions), deployment, config=detect
         )
         assert coord.alert_keys() == {a.key() for a in standalone.alerts}
 

@@ -11,8 +11,8 @@ subscription with a lightweight record, removing that duplication.
 import pytest
 
 from repro.core.nids_deployment import plan_deployment
-from repro.nids.emulation import emulate_coordinated
-from repro.nids.engine import BroInstance, BroMode, TrackingLevel
+from repro.nids.emulation import Traffic, run_emulation
+from repro.nids.engine import BroInstance, BroMode, EmulationConfig, TrackingLevel
 from repro.nids.modules import SCAN, STANDARD_MODULES, module_set
 from repro.nids.modules.base import Subscription
 from repro.topology import PathSet, internet2
@@ -56,7 +56,7 @@ class TestTrackingLevels:
             deployment.modules,
             BroMode.COORD_EVENT,
             dispatcher=deployment.dispatcher(node),
-            fine_grained=True,
+            config=EmulationConfig(fine_grained=True),
         )
         trace = generator.split_by_node(sessions, transit=True)[node]
         full_report = full.process_sessions(trace)
@@ -76,9 +76,10 @@ class TestTrackingLevels:
         """The extension's promised benefit: less duplicated baseline
         work at the scan-forced ingresses lowers CPU and memory."""
         topo, generator, sessions, deployment = world
-        coarse = emulate_coordinated(deployment, generator, sessions)
-        fine = emulate_coordinated(
-            deployment, generator, sessions, fine_grained=True
+        traffic = Traffic.materialized(generator, sessions)
+        coarse = run_emulation(traffic, deployment)
+        fine = run_emulation(
+            traffic, deployment, config=EmulationConfig(fine_grained=True)
         )
         assert fine.max_cpu < coarse.max_cpu
         assert fine.max_mem_bytes < coarse.max_mem_bytes
@@ -87,9 +88,10 @@ class TestTrackingLevels:
         """Fine-grained tracking changes *state* costs only — the
         analysis work performed (and hence detection) is identical."""
         topo, generator, sessions, deployment = world
-        coarse = emulate_coordinated(deployment, generator, sessions)
-        fine = emulate_coordinated(
-            deployment, generator, sessions, fine_grained=True
+        traffic = Traffic.materialized(generator, sessions)
+        coarse = run_emulation(traffic, deployment)
+        fine = run_emulation(
+            traffic, deployment, config=EmulationConfig(fine_grained=True)
         )
         for node in topo.node_names:
             assert fine.reports[node].module_cpu == pytest.approx(
@@ -101,18 +103,24 @@ class TestTrackingLevels:
         deployment = plan_deployment(
             topo, generator.paths, STANDARD_MODULES, sessions
         )
-        coarse = emulate_coordinated(
-            deployment, generator, sessions, run_detectors=True
+        traffic = Traffic.materialized(generator, sessions)
+        coarse = run_emulation(
+            traffic, deployment, config=EmulationConfig(run_detectors=True)
         )
-        fine = emulate_coordinated(
-            deployment, generator, sessions, run_detectors=True, fine_grained=True
+        fine = run_emulation(
+            traffic,
+            deployment,
+            config=EmulationConfig(run_detectors=True, fine_grained=True),
         )
         assert fine.alert_keys() == coarse.alert_keys()
 
     def test_unmodified_mode_unaffected(self, world):
         topo, generator, sessions, deployment = world
         instance = BroInstance(
-            "STTL", deployment.modules, BroMode.UNMODIFIED, fine_grained=True
+            "STTL",
+            deployment.modules,
+            BroMode.UNMODIFIED,
+            config=EmulationConfig(fine_grained=True),
         )
         trace = generator.split_by_node(sessions, transit=False)["STTL"]
         report = instance.process_sessions(trace)

@@ -108,13 +108,14 @@ class TestPlanningOnEachFamily:
     def test_ring_coordination_gain_large(self):
         """On a ring, transit concentration makes coordination's CPU
         win especially pronounced — long paths mean many helpers."""
-        from repro.nids.emulation import emulate_coordinated, emulate_edge
+        from repro.nids.emulation import Traffic, run_emulation
 
         topo = ring(10, seed=5).set_uniform_capacities(cpu=1.0, mem=1.0)
         paths = PathSet(topo)
         generator = TrafficGenerator(topo, paths, config=GeneratorConfig(seed=5))
         sessions = generator.generate(1500)
         deployment = plan_deployment(topo, paths, STANDARD_MODULES, sessions)
-        edge = emulate_edge(generator, sessions, STANDARD_MODULES)
-        coord = emulate_coordinated(deployment, generator, sessions)
+        traffic = Traffic.materialized(generator, sessions)
+        edge = run_emulation(traffic, STANDARD_MODULES)
+        coord = run_emulation(traffic, deployment)
         assert coord.max_cpu < edge.max_cpu

@@ -12,7 +12,8 @@ from repro.core import (
     solve_relaxation,
 )
 from repro.core.manifest import verify_manifests
-from repro.nids.emulation import emulate_coordinated, emulate_edge
+from repro.nids.emulation import Traffic, run_emulation
+from repro.nids.engine import EmulationConfig
 from repro.nids.modules import STANDARD_MODULES
 from repro.nips.enforcement import enforce
 from repro.topology import PathSet, geant, internet2
@@ -39,8 +40,9 @@ class TestNIDSPipelineOnGeant:
         )
         sessions = generator.generate(2500)
         deployment = plan_deployment(topo, paths, STANDARD_MODULES, sessions)
-        edge = emulate_edge(generator, sessions, STANDARD_MODULES)
-        coord = emulate_coordinated(deployment, generator, sessions)
+        traffic = Traffic.materialized(generator, sessions)
+        edge = run_emulation(traffic, STANDARD_MODULES)
+        coord = run_emulation(traffic, deployment)
         assert coord.max_cpu < edge.max_cpu
         # Complete coverage: aggregate module work must be preserved.
         expected = sum(
@@ -64,8 +66,10 @@ class TestAttackHeavyWorkload:
         )
         sessions = generator.generate(2500)
         deployment = plan_deployment(topo, paths, STANDARD_MODULES, sessions)
-        coord = emulate_coordinated(
-            deployment, generator, sessions, run_detectors=True
+        coord = run_emulation(
+            Traffic.materialized(generator, sessions),
+            deployment,
+            config=EmulationConfig(run_detectors=True),
         )
         alerts = coord.alert_keys()
         assert alerts  # the attack-heavy mix must trip detectors

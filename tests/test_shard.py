@@ -1,0 +1,350 @@
+"""Sharded emulation: exact merging, spawn safety, and the nesting guard.
+
+The tentpole invariant: ``run_emulation`` under a sharded
+:class:`ExecutionPolicy` — any worker count, any chunk size — produces
+a :class:`DeploymentUsage` that is bit-identical (``float.hex``
+compared) to the inline and streamed paths.  Wall-clock metric
+families are excluded from merged telemetry by construction, so the
+merged counters are also identical across worker counts.
+"""
+
+import multiprocessing
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.core.nids_deployment import plan_deployment
+from repro.experiments import scaled
+from repro.nids.emulation import Traffic, run_emulation
+from repro.nids.engine import (
+    EmulationConfig,
+    ExecutionMode,
+    ExecutionPolicy,
+)
+from repro.nids.modules import STANDARD_MODULES, module_set
+from repro.nids.shard import (
+    FORCE_INLINE_ENV,
+    NONDETERMINISTIC_SUFFIXES,
+    in_worker_process,
+    plan_shards,
+    run_shard_payload,
+)
+from repro.obs import MetricsRegistry
+from repro.topology import PathSet, internet2
+from repro.traffic import GeneratorConfig, TrafficGenerator
+from repro.traffic.batch import SessionBatch
+
+
+def sharded_config(jobs: int, chunk_size: int = 50_000) -> EmulationConfig:
+    return EmulationConfig(
+        policy=ExecutionPolicy.sharded(jobs=jobs, chunk_size=chunk_size)
+    )
+
+
+def assert_bit_identical(actual, expected):
+    """Float-hex equality of two DeploymentUsage objects, per node."""
+    assert set(actual.reports) == set(expected.reports)
+    for node in expected.reports:
+        a, b = actual.reports[node], expected.reports[node]
+        assert float(a.cpu).hex() == float(b.cpu).hex(), node
+        assert float(a.mem_bytes).hex() == float(b.mem_bytes).hex(), node
+        assert a.tracked_connections == b.tracked_connections, node
+        assert set(a.module_cpu) == set(b.module_cpu), node
+        for module, cpu in b.module_cpu.items():
+            assert float(a.module_cpu[module]).hex() == float(cpu).hex(), (
+                node,
+                module,
+            )
+        assert a.module_items == b.module_items, node
+    assert actual.to_dict() == expected.to_dict()
+
+
+def _world(num_sessions: int, seed: int, num_modules: int = 8):
+    topo = internet2().set_uniform_capacities(cpu=1.0, mem=1.0)
+    paths = PathSet(topo)
+    generator = TrafficGenerator(topo, paths, config=GeneratorConfig(seed=seed))
+    sessions = generator.generate(num_sessions)
+    modules = module_set(num_modules)
+    deployment = plan_deployment(topo, paths, modules, sessions)
+    return generator, sessions, modules, deployment
+
+
+@pytest.fixture(scope="module")
+def paper_world():
+    """The acceptance-scale workload (paper volume: 100k sessions)."""
+    return _world(scaled(100_000, minimum=5_000), seed=23)
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    return _world(2_500, seed=29)
+
+
+class TestPlanShards:
+    def test_one_shard_per_node_when_small(self):
+        traces = {"A": [1, 2, 3], "B": [4], "C": []}
+        shards = plan_shards(traces, chunk_size=10, allow_chunking=True)
+        assert shards == [("A", [1, 2, 3]), ("B", [4])]
+
+    def test_hot_nodes_chunked_contiguously(self):
+        traces = {"A": list(range(7))}
+        shards = plan_shards(traces, chunk_size=3, allow_chunking=True)
+        assert [trace for _, trace in shards] == [[0, 1, 2], [3, 4, 5], [6]]
+        assert all(node == "A" for node, _ in shards)
+
+    def test_detector_runs_never_chunk(self):
+        traces = {"A": list(range(7))}
+        shards = plan_shards(traces, chunk_size=3, allow_chunking=False)
+        assert shards == [("A", list(range(7)))]
+
+
+class TestShardInvariance:
+    """1 vs N shards vs sequential vs streamed — all bit-identical."""
+
+    @pytest.fixture(scope="class")
+    def baselines(self, paper_world):
+        generator, sessions, modules, deployment = paper_world
+        traffic = Traffic.materialized(generator, sessions)
+        inline = EmulationConfig()
+        return {
+            "traffic": traffic,
+            "edge": run_emulation(traffic, modules, config=inline),
+            "coordinated": run_emulation(traffic, deployment, config=inline),
+        }
+
+    def test_streamed_matches_inline(self, paper_world, baselines):
+        generator, sessions, modules, deployment = paper_world
+        config = EmulationConfig(policy=ExecutionPolicy.streamed(chunk_size=7_919))
+        streamed_edge = run_emulation(baselines["traffic"], modules, config=config)
+        streamed_coord = run_emulation(
+            baselines["traffic"], deployment, config=config
+        )
+        assert_bit_identical(streamed_edge, baselines["edge"])
+        assert_bit_identical(streamed_coord, baselines["coordinated"])
+
+    @pytest.mark.parametrize(
+        "jobs,chunk_divisor",
+        [(1, 1), (2, 7)],
+        ids=["one-worker-whole-nodes", "two-workers-chunked"],
+    )
+    def test_sharded_matches_inline(
+        self, paper_world, baselines, jobs, chunk_divisor
+    ):
+        generator, sessions, modules, deployment = paper_world
+        chunk = max(1, len(sessions) // chunk_divisor)
+        config = sharded_config(jobs=jobs, chunk_size=chunk)
+        sharded_edge = run_emulation(baselines["traffic"], modules, config=config)
+        sharded_coord = run_emulation(
+            baselines["traffic"], deployment, config=config
+        )
+        assert_bit_identical(sharded_edge, baselines["edge"])
+        assert_bit_identical(sharded_coord, baselines["coordinated"])
+
+
+class TestShardMetrics:
+    def test_shard_families_recorded(self, small_world):
+        generator, sessions, modules, deployment = small_world
+        registry = MetricsRegistry()
+        traffic = Traffic.materialized(generator, sessions)
+        run_emulation(
+            traffic,
+            deployment,
+            config=sharded_config(jobs=2, chunk_size=500),
+            registry=registry,
+        )
+        traces = generator.split_by_node(list(sessions), transit=True)
+        expected = plan_shards(traces, chunk_size=500, allow_chunking=True)
+        nonempty_nodes = sum(1 for trace in traces.values() if trace)
+        assert len(expected) > nonempty_nodes  # chunking split hot nodes
+        assert registry.get("engine_shard_tasks_total").total() == len(expected)
+        assert registry.get("engine_shard_sessions_total").total() == sum(
+            len(trace) for trace in traces.values()
+        )
+        assert registry.get("engine_shard_workers").value() == 2
+
+    def test_merged_counters_identical_across_worker_counts(self, small_world):
+        generator, sessions, modules, deployment = small_world
+        traffic = Traffic.materialized(generator, sessions)
+        snapshots = []
+        for jobs in (1, 2):
+            registry = MetricsRegistry()
+            run_emulation(
+                traffic,
+                deployment,
+                config=sharded_config(jobs=jobs, chunk_size=400),
+                registry=registry,
+            )
+            snap = registry.snapshot()
+            snapshots.append(
+                {
+                    name: entry
+                    for name, entry in snap["metrics"].items()
+                    if not name.endswith(NONDETERMINISTIC_SUFFIXES)
+                    and name != "engine_shard_workers"
+                }
+            )
+        assert snapshots[0] == snapshots[1]
+
+    def test_worker_counters_match_inline_run(self, small_world):
+        """The merged per-node telemetry equals what one process records."""
+        generator, sessions, modules, deployment = small_world
+        traffic = Traffic.materialized(generator, sessions)
+        inline_registry = MetricsRegistry()
+        run_emulation(
+            traffic, deployment, config=EmulationConfig(), registry=inline_registry
+        )
+        sharded_registry = MetricsRegistry()
+        run_emulation(
+            traffic,
+            deployment,
+            config=sharded_config(jobs=2, chunk_size=100_000),
+            registry=sharded_registry,
+        )
+        counter = "dispatch_sessions_total"
+        assert (
+            sharded_registry.get(counter).total()
+            == inline_registry.get(counter).total()
+        )
+
+
+class TestDetectorSharding:
+    def test_detector_alerts_identical_under_sharding(self, small_world):
+        generator, sessions, modules, deployment = small_world
+        traffic = Traffic.materialized(generator, sessions)
+        detect_inline = EmulationConfig(run_detectors=True)
+        detect_sharded = EmulationConfig(
+            run_detectors=True,
+            policy=ExecutionPolicy.sharded(jobs=2, chunk_size=50),
+        )
+        inline = run_emulation(traffic, deployment, config=detect_inline)
+        sharded = run_emulation(traffic, deployment, config=detect_sharded)
+        assert sharded.alert_keys() == inline.alert_keys()
+        for node in inline.reports:
+            assert [a.key() for a in sharded.reports[node].alerts] == [
+                a.key() for a in inline.reports[node].alerts
+            ], node
+
+
+class TestSpawnPickling:
+    """Everything a shard payload carries must survive pickling."""
+
+    def test_module_spec_roundtrip(self):
+        for spec in STANDARD_MODULES:
+            clone = pickle.loads(pickle.dumps(spec))
+            assert clone == spec
+
+    def test_emulation_config_roundtrip(self):
+        config = EmulationConfig(
+            run_detectors=True,
+            policy=ExecutionPolicy.sharded(jobs=3, chunk_size=123),
+        )
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone.run_detectors is True
+        assert clone.policy.mode is ExecutionMode.SHARDED
+        assert clone.policy.jobs == 3
+        assert clone.policy.chunk_size == 123
+
+    def test_session_batch_roundtrip(self, small_world):
+        generator, sessions, _, _ = small_world
+        batch = SessionBatch(sessions[:200])
+        clone = pickle.loads(pickle.dumps(batch))
+        assert list(clone.session_ids) == list(batch.session_ids)
+        assert list(clone.pkts) == list(batch.pkts)
+        assert clone.pairs == batch.pairs
+
+    def test_worker_entrypoint_is_spawn_importable(self):
+        assert run_shard_payload.__module__ == "repro.nids.shard"
+        module = __import__(
+            run_shard_payload.__module__, fromlist=["run_shard_payload"]
+        )
+        assert getattr(module, "run_shard_payload") is run_shard_payload
+
+
+class TestNestingGuard:
+    def test_parent_process_forces_inline(self, small_world, monkeypatch):
+        generator, sessions, modules, deployment = small_world
+        monkeypatch.setattr(
+            multiprocessing, "parent_process", lambda: object()
+        )
+        assert in_worker_process()
+        registry = MetricsRegistry()
+        traffic = Traffic.materialized(generator, sessions)
+        usage = run_emulation(
+            traffic,
+            deployment,
+            config=sharded_config(jobs=2, chunk_size=100),
+            registry=registry,
+        )
+        assert registry.get("engine_shard_fallback_total").total() == 1
+        assert registry.get("engine_shard_tasks_total") is None
+        inline = run_emulation(traffic, deployment, config=EmulationConfig())
+        assert_bit_identical(usage, inline)
+
+    def test_env_override_forces_inline(self, small_world, monkeypatch):
+        generator, sessions, modules, _ = small_world
+        monkeypatch.setenv(FORCE_INLINE_ENV, "1")
+        assert in_worker_process()
+        registry = MetricsRegistry()
+        run_emulation(
+            Traffic.materialized(generator, sessions),
+            modules,
+            config=sharded_config(jobs=2),
+            registry=registry,
+        )
+        assert registry.get("engine_shard_fallback_total").total() == 1
+
+    def test_real_spawned_child_falls_back(self):
+        """A genuine worker process (what a sweep cell is) demotes a
+        sharded policy to inline instead of nesting a pool."""
+        context = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
+            fallbacks, tasks = pool.submit(_nested_shard_probe).result(timeout=300)
+        assert fallbacks == 1
+        assert tasks == 0
+
+
+def _nested_shard_probe():
+    """Run a tiny sharded emulation from inside a worker process.
+
+    Module-level so the spawn child can import it; builds its own small
+    edge-only world to keep the probe fast.
+    """
+    topo = internet2().set_uniform_capacities(cpu=1.0, mem=1.0)
+    paths = PathSet(topo)
+    generator = TrafficGenerator(topo, paths, config=GeneratorConfig(seed=3))
+    sessions = generator.generate(300)
+    registry = MetricsRegistry()
+    run_emulation(
+        Traffic.materialized(generator, sessions),
+        STANDARD_MODULES,
+        config=sharded_config(jobs=2, chunk_size=50),
+        registry=registry,
+    )
+    fallback = registry.get("engine_shard_fallback_total")
+    tasks = registry.get("engine_shard_tasks_total")
+    return (
+        fallback.total() if fallback is not None else 0,
+        tasks.total() if tasks is not None else 0,
+    )
+
+
+class TestTraffic:
+    def test_exactly_one_source_required(self, small_world):
+        generator, sessions, _, _ = small_world
+        with pytest.raises(ValueError):
+            Traffic(generator)
+        with pytest.raises(ValueError):
+            Traffic(generator, sessions=sessions, num_sessions=10)
+
+    def test_generate_source_materializes_deterministically(self, small_world):
+        generator, sessions, _, _ = small_world
+        traffic = Traffic.generate(generator, len(sessions))
+        assert traffic.materialize() == list(sessions)
+
+    def test_materialized_chunk_iter_slices(self, small_world):
+        generator, sessions, _, _ = small_world
+        traffic = Traffic.materialized(generator, sessions)
+        chunks = list(traffic.chunk_iter(700))
+        assert [s for chunk in chunks for s in chunk] == list(sessions)
+        assert all(len(chunk) <= 700 for chunk in chunks)

@@ -11,13 +11,8 @@ accounting.
 import pytest
 
 from repro.core.nids_deployment import plan_deployment
-from repro.nids.emulation import (
-    emulate_coordinated,
-    emulate_coordinated_stream,
-    emulate_edge,
-    emulate_edge_stream,
-)
-from repro.nids.engine import EmulationConfig
+from repro.nids.emulation import Traffic, run_emulation
+from repro.nids.engine import EmulationConfig, ExecutionPolicy
 from repro.nids.modules import STANDARD_MODULES
 from repro.obs import MetricsRegistry, use_registry
 from repro.topology import PathSet, internet2
@@ -95,39 +90,55 @@ class TestStreamingEmulation:
         merging partials equals the materialize-all run exactly —
         order independence of the exact accounting, end to end."""
         plan, sessions = deployment
-        materialized = emulate_coordinated(
-            plan, generator, sessions, config=EmulationConfig()
+        materialized = run_emulation(
+            Traffic.materialized(generator, sessions), plan, config=EmulationConfig()
         )
+        streaming = EmulationConfig(policy=ExecutionPolicy.streamed())
         for chunk_size in (257, 1024, 5000):
-            streamed = emulate_coordinated_stream(
+            streamed = run_emulation(
+                Traffic.chunked(
+                    generator, generator.generate_chunks(3000, chunk_size)
+                ),
                 plan,
-                generator,
-                generator.generate_chunks(3000, chunk_size),
-                config=EmulationConfig(),
+                config=streaming,
             )
             assert streamed.to_dict()["reports"] == materialized.to_dict()["reports"]
 
     def test_edge_stream_bit_identical(self, generator, deployment):
         _, sessions = deployment
-        materialized = emulate_edge(
-            generator, sessions, STANDARD_MODULES, config=EmulationConfig()
-        )
-        streamed = emulate_edge_stream(
-            generator,
-            generator.generate_chunks(3000, 512),
+        materialized = run_emulation(
+            Traffic.materialized(generator, sessions),
             STANDARD_MODULES,
             config=EmulationConfig(),
+        )
+        streamed = run_emulation(
+            Traffic.chunked(generator, generator.generate_chunks(3000, 512)),
+            STANDARD_MODULES,
+            config=EmulationConfig(policy=ExecutionPolicy.streamed()),
+        )
+        assert streamed.to_dict()["reports"] == materialized.to_dict()["reports"]
+
+    def test_generated_traffic_streams_by_policy_chunk_size(self, generator, deployment):
+        """``Traffic.generate`` + a streamed policy chunks by the
+        policy's ``chunk_size`` — no pre-materialized list anywhere."""
+        plan, sessions = deployment
+        materialized = run_emulation(
+            Traffic.materialized(generator, sessions), plan, config=EmulationConfig()
+        )
+        streamed = run_emulation(
+            Traffic.generate(generator, 3000),
+            plan,
+            config=EmulationConfig(policy=ExecutionPolicy.streamed(chunk_size=999)),
         )
         assert streamed.to_dict()["reports"] == materialized.to_dict()["reports"]
 
     def test_stream_chunk_counter(self, generator, deployment):
         plan, _ = deployment
         registry = MetricsRegistry()
-        emulate_coordinated_stream(
+        run_emulation(
+            Traffic.chunked(generator, generator.generate_chunks(1000, 250)),
             plan,
-            generator,
-            generator.generate_chunks(1000, 250),
-            config=EmulationConfig(),
+            config=EmulationConfig(policy=ExecutionPolicy.streamed()),
             registry=registry,
         )
         assert registry.counter("engine_stream_chunks_total").value() == 4
