@@ -1,0 +1,77 @@
+"""Static-analysis wall-time guard: lint + flow over the full repo.
+
+The analyzers run fail-closed in CI on every push, so their cost is a
+tax on every contribution.  This bench runs the domain linter and the
+REP2xx flow pass back to back over ``src/repro`` through one shared
+``ASTStore`` and asserts the whole thing stays under the 10-second
+budget, with every file parsed exactly once (the flow pass reuses the
+linter's trees).  Script mode writes ``BENCH_analysis.json``:
+
+    PYTHONPATH=src python benchmarks/bench_analysis.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.analysis.astcache import ASTStore
+from repro.analysis.flow import flow_paths
+from repro.analysis.lint import find_project_root, iter_python_files, lint_paths
+
+MAX_ANALYSIS_SECONDS = 10.0
+
+REPO_ROOT = find_project_root(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SRC_REPRO = os.path.join(REPO_ROOT or ".", "src", "repro")
+
+
+def run_analysis_benchmark() -> dict:
+    """Time lint + flow over src/repro with one shared AST store."""
+    files = list(iter_python_files([SRC_REPRO]))
+    store = ASTStore()
+
+    start = time.perf_counter()
+    lint_result = lint_paths(files, root=REPO_ROOT, store=store)
+    lint_seconds = time.perf_counter() - start
+    parses_after_lint = store.parse_count
+
+    start = time.perf_counter()
+    flow_result = flow_paths(files, root=REPO_ROOT, store=store)
+    flow_seconds = time.perf_counter() - start
+
+    return {
+        "benchmark": "static-analysis",
+        "files": len(files),
+        "lint_seconds": round(lint_seconds, 4),
+        "flow_seconds": round(flow_seconds, 4),
+        "total_seconds": round(lint_seconds + flow_seconds, 4),
+        "budget_seconds": MAX_ANALYSIS_SECONDS,
+        "parse_count": store.parse_count,
+        "reparses_in_flow": store.parse_count - parses_after_lint,
+        "lint_violations": len(lint_result.violations),
+        "flow_violations": len(flow_result.violations),
+        "lint_ok": lint_result.ok,
+        "flow_ok": flow_result.ok,
+    }
+
+
+def test_analysis_wall_time_smoke():
+    """CI guard: full-repo lint + flow under budget, parse-once holds."""
+    stats = run_analysis_benchmark()
+    assert stats["total_seconds"] < MAX_ANALYSIS_SECONDS, stats
+    # The shared store means the flow pass adds zero parses on top of
+    # the linter's, and the linter parses each file exactly once.
+    assert stats["parse_count"] == stats["files"], stats
+    assert stats["reparses_in_flow"] == 0, stats
+    # The shipped tree is self-clean under both passes.
+    assert stats["lint_ok"] and stats["flow_ok"], stats
+
+
+if __name__ == "__main__":
+    results = run_analysis_benchmark()
+    print(json.dumps(results, indent=2))
+    out = os.path.join(REPO_ROOT or ".", "BENCH_analysis.json")
+    with open(out, "w") as fh:
+        json.dump(results, fh, indent=2)
+    print(f"wrote {out}")

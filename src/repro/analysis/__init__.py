@@ -19,12 +19,19 @@ See ``docs/static_analysis.md`` for the full rule catalogue.
 from __future__ import annotations
 
 import importlib
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 #: PEP 562 lazy surface: name -> defining submodule.  Resolved on
 #: first attribute access so ``import repro.analysis`` stays light and
 #: the lint CLI never pays for the verifier's planning imports.
 _LAZY = {
+    "ASTStore": "astcache",
+    "DEFAULT_STORE": "astcache",
+    "CallGraph": "callgraph",
+    "build_callgraph": "callgraph",
+    "FLOW_CATALOGUE": "flow",
+    "FlowConfig": "flow",
+    "flow_paths": "flow",
     "FileContext": "lint",
     "LintResult": "lint",
     "ProjectContext": "lint",
@@ -52,7 +59,10 @@ _LAZY = {
 }
 
 if TYPE_CHECKING:  # static importers see the real symbols
+    from .astcache import ASTStore, DEFAULT_STORE
+    from .callgraph import CallGraph, build_callgraph
     from .cli import main
+    from .flow import FLOW_CATALOGUE, FlowConfig, flow_paths
     from .lint import (
         FileContext,
         LintResult,
@@ -81,7 +91,7 @@ if TYPE_CHECKING:  # static importers see the real symbols
     )
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     submodule = _LAZY.get(name)
     if submodule is None:
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
@@ -92,8 +102,13 @@ def __getattr__(name: str):
 
 
 __all__ = [
+    "ASTStore",
+    "CallGraph",
+    "DEFAULT_STORE",
+    "FLOW_CATALOGUE",
     "FileContext",
     "Finding",
+    "FlowConfig",
     "LintResult",
     "ManifestRejectedError",
     "ProjectContext",
@@ -106,7 +121,9 @@ __all__ = [
     "check_nips",
     "check_on_path",
     "check_partition",
+    "build_callgraph",
     "default_rules",
+    "flow_paths",
     "iter_python_files",
     "lint_paths",
     "main",

@@ -32,6 +32,8 @@ import re
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from .astcache import ASTStore, DEFAULT_STORE
+
 #: JSON output schema version (``render_json``).
 LINT_SCHEMA_VERSION = 1
 
@@ -212,12 +214,16 @@ def lint_paths(
     paths: Sequence[str],
     rules: Optional[Sequence[Rule]] = None,
     root: Optional[str] = None,
+    store: Optional[ASTStore] = None,
 ) -> LintResult:
     """Run *rules* over every ``.py`` file under *paths*.
 
     *root* anchors whole-project rules (docs lookups); when omitted it
     is discovered by walking up from the first path.  Violations come
     back sorted by (path, line, col, rule) with suppressions applied.
+    Parsed trees come from *store* (default: the process-wide
+    :data:`~repro.analysis.astcache.DEFAULT_STORE`), so a subsequent
+    ``analysis flow`` run over the same tree re-parses nothing.
     """
     if rules is None:
         from .rules import default_rules
@@ -234,17 +240,20 @@ def lint_paths(
     files = iter_python_files(paths)
     if root is None and files:
         root = find_project_root(files[0])
+    if store is None:
+        store = DEFAULT_STORE
     project = ProjectContext(root=root)
     violations: List[Violation] = []
     errors: List[Tuple[str, str]] = []
     suppressions: Dict[str, Tuple] = {}
     for path in files:
-        with open(path, "r", encoding="utf-8") as handle:
-            source = handle.read()
         try:
-            tree = ast.parse(source, filename=path)
+            source, tree = store.get(path)
         except SyntaxError as error:
             errors.append((path, f"syntax error: {error.msg} (line {error.lineno})"))
+            continue
+        except OSError as error:
+            errors.append((path, f"read error: {error}"))
             continue
         ctx = FileContext(path=path, source=source, tree=tree)
         suppressions[path] = _parse_suppressions(ctx.lines)

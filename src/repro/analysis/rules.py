@@ -369,13 +369,13 @@ class MetricNameDrift(Rule):
 
     def __init__(self) -> None:
         self._declared: Dict[str, Tuple[str, int, int]] = {}
+        self._consumed: Dict[str, Tuple[str, int, int]] = {}
 
     def visit_file(self, ctx: FileContext) -> Iterable[Violation]:
         for node in ast.walk(ctx.tree):
             if not (
                 isinstance(node, ast.Call)
                 and isinstance(node.func, ast.Attribute)
-                and node.func.attr in _REGISTRY_DECLARATORS
                 and node.args
                 and isinstance(node.args[0], ast.Constant)
                 and isinstance(node.args[0].value, str)
@@ -383,14 +383,29 @@ class MetricNameDrift(Rule):
                 continue
             name = node.args[0].value
             site = (ctx.path, node.lineno, node.col_offset)
-            self._declared.setdefault(name, site)
-            if node.func.attr == "span":
-                # span() implicitly creates a companion counter.
-                self._declared.setdefault(f"{name}_total", site)
+            if node.func.attr in _REGISTRY_DECLARATORS:
+                self._declared.setdefault(name, site)
+                if node.func.attr == "span":
+                    # span() implicitly creates a companion counter.
+                    self._declared.setdefault(f"{name}_total", site)
+            elif node.func.attr == "get" and self._is_registry(node.func.value):
+                # Consumer side: reading a family by name must refer to
+                # a declared one, or the dashboard/test reads nothing.
+                self._consumed.setdefault(name, site)
         return ()
+
+    @staticmethod
+    def _is_registry(node: ast.AST) -> bool:
+        """True when *node* is a ``...registry``-named receiver."""
+        if isinstance(node, ast.Attribute):
+            return node.attr.lower().endswith("registry")
+        if isinstance(node, ast.Name):
+            return node.id.lower().endswith("registry")
+        return False
 
     def finish(self, project: ProjectContext) -> Iterable[Violation]:
         declared, self._declared = self._declared, {}
+        consumed, self._consumed = self._consumed, {}
         if project.root is None:
             return
         doc_path = os.path.join(project.root, self.DOC_PATH)
@@ -399,6 +414,19 @@ class MetricNameDrift(Rule):
         with open(doc_path, "r", encoding="utf-8") as handle:
             doc_lines = handle.read().splitlines()
         documented = self._catalogue_names(doc_lines)
+        for name, (path, line, col) in sorted(consumed.items()):
+            if name not in declared and name not in documented:
+                yield Violation(
+                    rule_id=self.rule_id,
+                    path=path,
+                    line=line,
+                    col=col,
+                    message=(
+                        f"metric family {name!r} is read via registry.get"
+                        " but neither declared in code nor catalogued in"
+                        f" {self.DOC_PATH}"
+                    ),
+                )
         for name, (path, line, col) in sorted(declared.items()):
             if name not in documented:
                 yield Violation(

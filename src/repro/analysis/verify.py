@@ -151,7 +151,7 @@ class ManifestRejectedError(ValueError):
     rejection, and keeps the previous configuration active.
     """
 
-    def __init__(self, report: VerificationReport):
+    def __init__(self, report: VerificationReport) -> None:
         self.report = report
         summary = "; ".join(
             finding.render() for finding in report.findings[:3]

@@ -28,6 +28,7 @@ from .chaos import (
     run_chaos,
 )
 from .controller import Controller, ControllerConfig, ControllerStats, PushState
+from .protocol import MessageSpec, PROTOCOL, PROTOCOL_KINDS
 from .epochs import (
     CoverageSummary,
     EpochRecord,
@@ -75,8 +76,11 @@ __all__ = [
     "InvariantMonitor",
     "InvariantViolation",
     "Message",
+    "MessageSpec",
     "NAMED_PLANS",
     "PROFILES",
+    "PROTOCOL",
+    "PROTOCOL_KINDS",
     "PushState",
     "REDISTRIBUTION_DEADLINE_EPOCHS",
     "RepairResult",

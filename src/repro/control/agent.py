@@ -50,6 +50,13 @@ from ..measurement.flows import FlowExporter
 from ..obs import MetricsRegistry, NULL_REGISTRY
 from ..traffic.session import Session
 from .bus import Bus, Message
+from .protocol import (
+    KIND_ACK,
+    KIND_HEARTBEAT,
+    KIND_MANIFEST_UPDATE,
+    KIND_REPORT,
+    KIND_RESYNC_REQUEST,
+)
 
 #: Nominal wire sizes for the small fixed-format control messages.
 HEARTBEAT_BYTES = 64
@@ -226,7 +233,7 @@ class Agent:
         for message in inbox:
             if message.src == self.config.controller:
                 self._renew_lease(message.payload, now)
-            if message.kind == "manifest-update":
+            if message.kind == KIND_MANIFEST_UPDATE:
                 self._handle_update(message, now)
         self._update_degraded(now)
         if self._needs_resync:
@@ -238,7 +245,7 @@ class Agent:
             self.bus.send(
                 self.node,
                 self.config.controller,
-                "resync-request",
+                KIND_RESYNC_REQUEST,
                 {"node": self.node, "applied": self.applied_version},
                 RESYNC_REQUEST_BYTES,
                 now,
@@ -263,7 +270,7 @@ class Agent:
             self.bus.send(
                 self.node,
                 self.config.controller,
-                "report",
+                KIND_REPORT,
                 report,
                 report_bytes(report),
                 now,
@@ -273,7 +280,7 @@ class Agent:
             self.bus.send(
                 self.node,
                 self.config.controller,
-                "heartbeat",
+                KIND_HEARTBEAT,
                 {
                     "node": self.node,
                     "degraded": self.degraded,
@@ -360,7 +367,7 @@ class Agent:
         self.bus.send(
             self.node,
             self.config.controller,
-            "ack",
+            KIND_ACK,
             {
                 "node": self.node,
                 "version": version,

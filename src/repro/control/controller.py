@@ -58,6 +58,14 @@ from ..nids.modules.base import ModuleSpec
 from ..obs import MetricsRegistry, NULL_REGISTRY
 from ..topology.graph import Topology
 from ..topology.routing import PathSet
+from .protocol import (
+    KIND_ACK,
+    KIND_HEARTBEAT,
+    KIND_LEASE_RENEW,
+    KIND_MANIFEST_UPDATE,
+    KIND_REPORT,
+    KIND_RESYNC_REQUEST,
+)
 from .bus import Bus
 from .epochs import (
     EpochRecord,
@@ -270,7 +278,7 @@ class Controller:
     # -- inbox ------------------------------------------------------------
     def _drain(self, now: float) -> None:
         for message in self.bus.deliver(self.config.name, now):
-            if message.kind == "heartbeat":
+            if message.kind == KIND_HEARTBEAT:
                 node = message.payload["node"]
                 if self.monitor.beat(node, now):
                     self._recovered.add(node)
@@ -284,11 +292,11 @@ class Controller:
                     self._track_degradation(
                         node, bool(message.payload.get("degraded"))
                     )
-            elif message.kind == "report":
+            elif message.kind == KIND_REPORT:
                 self.reports[message.src] = message.payload
-            elif message.kind == "ack":
+            elif message.kind == KIND_ACK:
                 self._handle_ack(message.payload, now)
-            elif message.kind == "resync-request":
+            elif message.kind == KIND_RESYNC_REQUEST:
                 # Warm-restarted agent refusing its on-disk state: drop
                 # everything we believed about it and send a full
                 # manifest on the next push beat.
@@ -792,7 +800,7 @@ class Controller:
         self.bus.send(
             self.config.name,
             node,
-            "manifest-update",
+            KIND_MANIFEST_UPDATE,
             payload,
             state.size_bytes,
             now,
@@ -812,7 +820,7 @@ class Controller:
             self.bus.send(
                 self.config.name,
                 node,
-                "lease-renew",
+                KIND_LEASE_RENEW,
                 {"version": self.version, "lease_expires_at": expires},
                 LEASE_BYTES,
                 now,

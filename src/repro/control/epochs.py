@@ -189,7 +189,9 @@ def stabilize_manifests(
         for node, manifest in proposed.items()
     }
     changed: Set[Ident] = set()
-    for ident in idents:
+    # Sorted so per-node entry dicts build in one canonical order for
+    # every input ordering (REP202: sets iterate in hash order).
+    for ident in sorted(idents):
         old_holders = {
             node: manifest.entries[ident]
             for node, manifest in previous.items()

@@ -531,7 +531,7 @@ def _run_scenario(
                 result.redistribution_epoch[node] = epoch
                 del pending_redistribution[node]
 
-        for node in list(pending_recovery):
+        for node in sorted(pending_recovery):
             if (
                 agents[node].alive
                 and node not in controller.monitor.failed

@@ -117,7 +117,8 @@ class TransitionPlan:
         """
         duplicated = 0.0
         nodes = set(self.old.manifests) | set(self.new.manifests)
-        for node in nodes:
+        # Sorted: the float fold below must not depend on set order.
+        for node in sorted(nodes):
             old_ranges = self.old.manifests[node].ranges(class_name, key)
             new_ranges = self.new.manifests[node].ranges(class_name, key)
             # Mass held under either manifest, minus the overlap the

@@ -211,8 +211,9 @@ def random_pop_topology(
     candidates = set(range(1, num_nodes))
     while candidates:
         best: Optional[Tuple[float, int, int]] = None
-        for i in in_tree:
-            for j in candidates:
+        # Sorted: distance ties must break by node id, not set order.
+        for i in sorted(in_tree):
+            for j in sorted(candidates):
                 d = euclid(i, j)
                 if best is None or d < best[0]:
                     best = (d, i, j)

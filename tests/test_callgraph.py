@@ -1,0 +1,353 @@
+"""Tests for the whole-package call-graph builder (repro.analysis.callgraph).
+
+The flow rules are only as sound as the graph under them, so the
+adversarial resolution shapes get direct coverage: decorated
+functions, ``functools.partial``, facade re-exports (the
+``repro.api`` pattern), PEP 562 ``__getattr__`` lazy modules (both the
+dict-table and the literal-dispatch style), relative imports, and the
+bare-method-name fallback for dynamic dispatch.
+"""
+
+import os
+import textwrap
+
+import repro
+from repro.analysis.astcache import ASTStore
+from repro.analysis.callgraph import (
+    build_callgraph,
+    dotted_name,
+    module_name_for,
+)
+
+SRC_REPRO = os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def make_package(tmp_path, files):
+    """Write a package tree ``{relpath: source}`` and return its files."""
+    written = []
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        written.append(str(path))
+    return sorted(written)
+
+
+def graph_for(tmp_path, files):
+    return build_callgraph(make_package(tmp_path, files), ASTStore())
+
+
+class TestModuleNames:
+    def test_package_module_and_init_names(self, tmp_path):
+        files = make_package(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/sub/__init__.py": "",
+                "pkg/sub/mod.py": "",
+            },
+        )
+        names = sorted(module_name_for(path) for path in files)
+        assert names == ["pkg", "pkg.sub", "pkg.sub.mod"]
+
+    def test_loose_file_keeps_its_stem(self, tmp_path):
+        (tmp_path / "script.py").write_text("")
+        assert module_name_for(str(tmp_path / "script.py")) == "script"
+
+
+class TestResolution:
+    def test_direct_and_aliased_imports(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": "def target():\n    return 1\n",
+                "pkg/b.py": """\
+                    from pkg import a
+                    from pkg.a import target as t2
+
+                    def caller():
+                        a.target()
+
+                    def caller2():
+                        t2()
+                """,
+            },
+        )
+        assert "pkg.a.target" in graph.functions["pkg.b.caller"].calls
+        assert "pkg.a.target" in graph.functions["pkg.b.caller2"].calls
+
+    def test_relative_imports(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/deep/__init__.py": "",
+                "pkg/deep/mod.py": """\
+                    from ..a import target
+                    from . import peer
+
+                    def caller():
+                        target()
+                        peer.helper()
+                """,
+                "pkg/deep/peer.py": "def helper():\n    return 2\n",
+                "pkg/a.py": "def target():\n    return 1\n",
+            },
+        )
+        calls = graph.functions["pkg.deep.mod.caller"].calls
+        assert "pkg.a.target" in calls
+        assert "pkg.deep.peer.helper" in calls
+
+    def test_decorated_functions_still_resolve(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/mod.py": """\
+                    import functools
+
+                    def deco(fn):
+                        return fn
+
+                    @deco
+                    @functools.lru_cache(maxsize=None)
+                    def decorated():
+                        return 1
+
+                    def caller():
+                        decorated()
+                """,
+            },
+        )
+        assert "pkg.mod.decorated" in graph.functions["pkg.mod.caller"].calls
+
+    def test_functools_partial_binds_an_edge(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/mod.py": """\
+                    import functools
+                    from functools import partial
+
+                    def work(x):
+                        return x
+
+                    def binder():
+                        return functools.partial(work, 1)
+
+                    def binder2():
+                        return partial(work, 2)
+                """,
+            },
+        )
+        assert "pkg.mod.work" in graph.functions["pkg.mod.binder"].calls
+        assert "pkg.mod.work" in graph.functions["pkg.mod.binder2"].calls
+
+    def test_function_reference_passed_as_value(self, tmp_path):
+        # The spawn-pool shape: pool.submit(run_payload, item) must
+        # create an edge even though run_payload is never called here.
+        graph = graph_for(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/mod.py": """\
+                    def run_payload(item):
+                        return item
+
+                    def dispatch(pool, items):
+                        return [pool.submit(run_payload, i) for i in items]
+                """,
+            },
+        )
+        assert "pkg.mod.run_payload" in graph.functions["pkg.mod.dispatch"].calls
+
+    def test_facade_reexport_resolves_to_definition(self, tmp_path):
+        # repro.api style: the facade imports a symbol, callers import
+        # the facade.
+        graph = graph_for(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/impl.py": "def real_work():\n    return 1\n",
+                "pkg/api.py": "from .impl import real_work\n",
+                "pkg/user.py": """\
+                    from pkg import api
+
+                    def caller():
+                        api.real_work()
+                """,
+            },
+        )
+        assert "pkg.impl.real_work" in graph.functions["pkg.user.caller"].calls
+
+    def test_pep562_dict_table_lazy_exports(self, tmp_path):
+        # The repro.analysis style: _LAZY = {"symbol": "submodule"} and
+        # __getattr__ does getattr(import_module(sub), name).
+        graph = graph_for(
+            tmp_path,
+            {
+                "pkg/__init__.py": """\
+                    import importlib
+
+                    _LAZY = {"lazy_fn": "impl"}
+
+                    def __getattr__(name):
+                        sub = _LAZY.get(name)
+                        if sub is None:
+                            raise AttributeError(name)
+                        return getattr(importlib.import_module(f".{sub}", __name__), name)
+                """,
+                "pkg/impl.py": "def lazy_fn():\n    return 1\n",
+                "user.py": """\
+                    import pkg
+
+                    def caller():
+                        pkg.lazy_fn()
+                """,
+            },
+        )
+        assert "pkg.impl.lazy_fn" in graph.functions["user.caller"].calls
+
+    def test_pep562_literal_dispatch_lazy_submodule(self, tmp_path):
+        # The repro.__init__ style: __getattr__ imports a submodule for
+        # names in a literal tuple.
+        graph = graph_for(
+            tmp_path,
+            {
+                "pkg/__init__.py": """\
+                    def __getattr__(name):
+                        if name in ("sub",):
+                            import importlib
+
+                            return importlib.import_module(f".{name}", __name__)
+                        raise AttributeError(name)
+                """,
+                "pkg/sub.py": "def inner():\n    return 1\n",
+                "user.py": """\
+                    import pkg
+
+                    def caller():
+                        pkg.sub.inner()
+                """,
+            },
+        )
+        assert "pkg.sub.inner" in graph.functions["user.caller"].calls
+
+    def test_self_method_resolution(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/mod.py": """\
+                    class Thing:
+                        def outer(self):
+                            return self.inner()
+
+                        def inner(self):
+                            return 1
+                """,
+            },
+        )
+        assert "pkg.mod.Thing.inner" in graph.functions["pkg.mod.Thing.outer"].calls
+
+    def test_unresolvable_method_falls_back_to_bare_name(self, tmp_path):
+        # Dynamic dispatch cannot hide an implementation: obj.merge()
+        # links to every known function named merge.
+        graph = graph_for(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": """\
+                    class Report:
+                        def merge(self, other):
+                            return other
+                """,
+                "pkg/b.py": """\
+                    def combine(obj, other):
+                        obj.merge(other)
+                """,
+            },
+        )
+        assert "pkg.a.Report.merge" in graph.functions["pkg.b.combine"].calls
+
+    def test_nested_defs_fold_into_parent(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/mod.py": """\
+                    def target():
+                        return 1
+
+                    def outer():
+                        def closure():
+                            return target()
+                        return closure
+                """,
+            },
+        )
+        assert "pkg.mod.target" in graph.functions["pkg.mod.outer"].calls
+        assert "pkg.mod.outer.closure" not in graph.functions
+
+
+class TestReachability:
+    def test_bfs_closure_and_origin_attribution(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/mod.py": """\
+                    def entry():
+                        middle()
+
+                    def middle():
+                        leaf()
+
+                    def leaf():
+                        return 1
+
+                    def unrelated():
+                        return 2
+                """,
+            },
+        )
+        reach = graph.reachable(["pkg.mod.entry"])
+        assert reach["pkg.mod.leaf"] == "pkg.mod.entry"
+        assert "pkg.mod.unrelated" not in reach
+
+    def test_unknown_entrypoint_is_a_loud_error(self, tmp_path):
+        graph = graph_for(
+            tmp_path, {"pkg/__init__.py": "", "pkg/mod.py": "def f():\n    pass\n"}
+        )
+        graph.reachable(["pkg.mod.renamed_away"])
+        assert any("renamed_away" in error for error in graph.errors)
+
+
+class TestRealTree:
+    def test_repro_api_facade_resolves_run_emulation(self):
+        graph = build_callgraph(
+            [
+                os.path.join(SRC_REPRO, "api.py"),
+                os.path.join(SRC_REPRO, "__init__.py"),
+                os.path.join(SRC_REPRO, "nids", "__init__.py"),
+                os.path.join(SRC_REPRO, "nids", "emulation.py"),
+            ],
+            ASTStore(),
+        )
+        module = graph.modules["repro.api"]
+        resolved = graph.resolve(module, "run_emulation")
+        assert resolved == "repro.nids.emulation.run_emulation"
+
+    def test_lazy_analysis_surface_resolves_through_repro_init(self):
+        graph = build_callgraph(
+            [
+                os.path.join(SRC_REPRO, "__init__.py"),
+                os.path.join(SRC_REPRO, "analysis", "__init__.py"),
+                os.path.join(SRC_REPRO, "analysis", "lint.py"),
+            ],
+            ASTStore(),
+        )
+        resolved = graph._resolve_canonical("repro.analysis.lint_paths")
+        assert resolved == "repro.analysis.lint.lint_paths"
