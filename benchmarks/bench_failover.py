@@ -1,0 +1,164 @@
+"""Controller-failover benchmark: leader crash at 10/50/200 agents.
+
+Run directly to (re)generate ``BENCH_failover.json`` at the repo root:
+
+    PYTHONPATH=src python benchmarks/bench_failover.py
+
+For each deployment size the ``leader-crash-mid-push`` plan runs
+against a sized synthetic backbone (``pop10``/``pop50``/``pop200``)
+with three controller replicas: the leader crashes mid-push at
+t=0.4 and stays down until the plan heals.  The benchmark records how
+long leadership and full coordination take to recover and what the
+failover costs on the bus — epochs with no acting leader, the epoch
+the first standby takes over, epochs from heal to a settled
+configuration, and total/per-kind message counts against a fault-free
+run of the identical scenario (same topology, sessions, and replica
+count), so the delta is purely the crash plus takeover.
+
+Large synthetic topologies drift their session mix over 18 epochs, so
+every run re-resolves the deployment every 3 epochs; the fault-free
+baseline pays the same re-plans and the overhead column stays honest.
+
+Sizes honour ``BENCH_FAILOVER_SIZES`` (comma-separated agent counts).
+"""
+
+import json
+import math
+import os
+import time
+
+from repro.control.chaos import ChaosConfig, FaultPlan, build_plan, run_chaos
+from repro.control.protocol import (
+    KIND_NACK,
+    KIND_PROMOTE,
+    KIND_STATE_HANDOFF,
+    KIND_TERM_ANNOUNCE,
+)
+from repro.topology import by_label
+
+SIZES = (10, 50, 200)
+SEED = 3
+EPOCHS = 18
+BASE_SESSIONS = 400
+RESOLVE_EVERY = 3
+
+#: The HA control-plane message kinds; everything else on the bus is
+#: ordinary coordination traffic (pushes, heartbeats, acks, leases).
+HA_KINDS = (KIND_TERM_ANNOUNCE, KIND_PROMOTE, KIND_STATE_HANDOFF, KIND_NACK)
+
+
+def _sizes_from_env():
+    raw = os.environ.get("BENCH_FAILOVER_SIZES", "")
+    if not raw:
+        return SIZES
+    return tuple(int(part) for part in raw.split(",") if part.strip())
+
+
+def _config(size: int, plan: FaultPlan, replicas: int = 1) -> ChaosConfig:
+    return ChaosConfig(
+        plan=plan,
+        topology=f"pop{size}",
+        epochs=EPOCHS,
+        base_sessions=BASE_SESSIONS,
+        seed=SEED,
+        resolve_every=RESOLVE_EVERY,
+        replicas=replicas,
+    )
+
+
+def bench_one(size: int) -> dict:
+    """Crash the leader at *size* agents and measure the recovery."""
+    topology = by_label(f"pop{size}")
+    baseline = run_chaos(
+        _config(size, FaultPlan(name="fault-free", events=()), replicas=3)
+    )
+    plan = build_plan(
+        "leader-crash-mid-push", SEED, EPOCHS, topology.node_names
+    )
+    started = time.perf_counter()
+    crash = run_chaos(_config(size, plan))
+    seconds = time.perf_counter() - started
+
+    heal_epoch = int(math.ceil(plan.heal_time))
+    takeover_epoch = next(
+        (
+            record.record.epoch
+            for record in crash.records
+            if record.leader == "controller-1"
+        ),
+        None,
+    )
+    summary = crash.ha_summary
+    return {
+        "agents": len(topology.node_names),
+        "ok": crash.ok and baseline.ok,
+        "violations": crash.check_acceptance() + baseline.check_acceptance(),
+        "leaderless_epochs": sum(
+            1 for record in crash.records if record.leader is None
+        ),
+        "takeover_epoch": takeover_epoch,
+        "heal_epoch": heal_epoch,
+        "reconverged_epoch": crash.reconverged_epoch,
+        "epochs_to_reconverge": (
+            crash.reconverged_epoch - heal_epoch
+            if crash.reconverged_epoch is not None
+            else None
+        ),
+        "elections": summary["elections"],
+        "depositions": summary["depositions"],
+        "bus_messages": crash.bus_stats.sent,
+        "bus_bytes": crash.bus_stats.bytes_sent,
+        # Usually negative: the 12-epoch outage removes more push and
+        # lease traffic than election + handoff + announces add back.
+        "messages_delta_vs_fault_free": crash.bus_stats.sent
+        - baseline.bus_stats.sent,
+        "ha_messages_by_kind": {
+            kind: crash.bus_stats.sent_by_kind.get(kind, 0)
+            for kind in HA_KINDS
+        },
+        "run_seconds": round(seconds, 3),
+    }
+
+
+def run_failover_benchmark(sizes=None) -> dict:
+    rows = [bench_one(size) for size in (sizes or _sizes_from_env())]
+    return {
+        "benchmark": "controller-failover",
+        "plan": "leader-crash-mid-push",
+        "replicas": 3,
+        "seed": SEED,
+        "epochs": EPOCHS,
+        "base_sessions": BASE_SESSIONS,
+        "resolve_every": RESOLVE_EVERY,
+        "rows": rows,
+    }
+
+
+def test_failover_smoke():
+    """CI smoke: every size recovers with one election, no invariant
+    violations, and reconverges within the configured budget."""
+    result = run_failover_benchmark()
+    print(json.dumps(result, indent=2))
+    for row in result["rows"]:
+        assert row["ok"], row["violations"]
+        assert row["elections"] == 1, row
+        assert row["depositions"] == 0, row
+        assert row["takeover_epoch"] is not None, row
+        assert row["takeover_epoch"] <= row["heal_epoch"], row
+        assert row["epochs_to_reconverge"] is not None, row
+        assert row["epochs_to_reconverge"] <= 4, row
+        # Failover control traffic exists but must not dominate.
+        ha_total = sum(row["ha_messages_by_kind"].values())
+        assert ha_total > 0, row
+        assert ha_total < row["bus_messages"] / 2, row
+
+
+if __name__ == "__main__":
+    result = run_failover_benchmark()
+    out = os.path.join(
+        os.path.dirname(__file__), "..", "BENCH_failover.json"
+    )
+    with open(out, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(result, indent=2))

@@ -136,6 +136,7 @@ class FlowConfig:
     dispatch_sites: Tuple[str, ...] = (
         "repro.control.controller.Controller._drain",
         "repro.control.agent.Agent.step",
+        "repro.control.ha.ControllerReplica._dispatch",
     )
 
 

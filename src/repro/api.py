@@ -83,8 +83,14 @@ from .nids import (
 
 # -- coordination plane ----------------------------------------------------
 from .control import (
+    ChaosConfig,
+    ChaosResult,
+    HACluster,
+    HAConfig,
     ScenarioConfig,
     ScenarioResult,
+    build_plan,
+    run_chaos,
     run_scenario,
     standard_scenario,
 )
@@ -157,8 +163,14 @@ __all__ = [
     "emulate_edge_stream",
     "run_emulation",
     # coordination plane
+    "ChaosConfig",
+    "ChaosResult",
+    "HACluster",
+    "HAConfig",
     "ScenarioConfig",
     "ScenarioResult",
+    "build_plan",
+    "run_chaos",
     "run_scenario",
     "standard_scenario",
     # scenario sweeps

@@ -343,6 +343,7 @@ def cmd_control_chaos(args) -> int:
             loss_rate=args.loss_rate,
             lease_ttl=args.lease_ttl,
             reconverge_epochs=args.reconverge_epochs,
+            replicas=args.replicas,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -383,6 +384,10 @@ def cmd_control_chaos(args) -> int:
             flags.append("transition")
         if r.failed_nodes:
             flags.append("failed=" + ",".join(r.failed_nodes))
+        if chaos_record.leader is not None and chaos_record.term > 0:
+            flags.append(
+                f"leader={chaos_record.leader}@t{chaos_record.term}"
+            )
         print(
             f"{r.epoch:>5} {r.coverage:>8.4f} {chaos_record.baseline_pairs:>8}"
             f" {chaos_record.uncovered_pairs:>5}"
@@ -393,6 +398,15 @@ def cmd_control_chaos(args) -> int:
         f"first degraded epoch: {result.first_degraded_epoch};"
         f" reconverged at epoch: {result.reconverged_epoch}"
     )
+    if result.ha_summary is not None:
+        summary = result.ha_summary
+        print(
+            f"HA: {len(summary['replicas'])} replicas, leader"
+            f" {summary['leader']} at term {summary['term']},"
+            f" settled={summary['settled']},"
+            f" elections={summary['elections']},"
+            f" depositions={summary['depositions']}"
+        )
     if registry is not None:
         from .reporting import MetricsSnapshotReport
 
@@ -592,7 +606,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--plan",
         default="controller-outage",
         help="named fault plan (controller-outage, asym-partition,"
-        " agent-restart-stale, lossy-burst) or 'random'",
+        " agent-restart-stale, lossy-burst, leader-crash-mid-push,"
+        " leader-partition) or 'random'",
     )
     chaos.add_argument("--topology", default="internet2", help="topology label")
     chaos.add_argument("--epochs", type=int, default=18)
@@ -615,6 +630,11 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--reconverge-epochs", type=int, default=4,
         help="epochs allowed between fault heal and a settled plane",
+    )
+    chaos.add_argument(
+        "--replicas", type=int, default=1,
+        help="controller replicas (HA standby failover; the"
+        " leader-crash-mid-push and leader-partition plans force >= 3)",
     )
     chaos.add_argument(
         "--metrics-out",

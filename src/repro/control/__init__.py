@@ -6,9 +6,11 @@ continuously: an operations-center :class:`Controller` on an epoch
 clock, per-node :class:`Agent` endpoints, a lossy simulated
 :class:`Bus` between them, epoch-versioned delta distribution,
 heartbeat-driven failure detection with targeted redistribution,
-scripted end-to-end scenarios, and a seeded chaos harness
+scripted end-to-end scenarios, a seeded chaos harness
 (:mod:`repro.control.chaos`) that injects adversarial fault plans and
-asserts the graceful-degradation invariants per epoch.
+asserts the graceful-degradation invariants per epoch, and controller
+HA (:mod:`repro.control.ha`): term-fenced standby replicas with
+deterministic election and split-brain-proof epoch-log handoff.
 """
 
 from .agent import Agent, AgentConfig, AgentStats
@@ -28,6 +30,13 @@ from .chaos import (
     run_chaos,
 )
 from .controller import Controller, ControllerConfig, ControllerStats, PushState
+from .ha import (
+    ControllerReplica,
+    EpochLogEntry,
+    HACluster,
+    HAConfig,
+    replica_name,
+)
 from .protocol import MessageSpec, PROTOCOL, PROTOCOL_KINDS
 from .epochs import (
     CoverageSummary,
@@ -67,11 +76,15 @@ __all__ = [
     "ChaosResult",
     "Controller",
     "ControllerConfig",
+    "ControllerReplica",
     "ControllerStats",
     "CoverageSummary",
+    "EpochLogEntry",
     "EpochRecord",
     "FaultEvent",
     "FaultPlan",
+    "HACluster",
+    "HAConfig",
     "HeartbeatMonitor",
     "InvariantMonitor",
     "InvariantViolation",
@@ -92,6 +105,7 @@ __all__ = [
     "merge_reports",
     "random_fault_plan",
     "repair_manifests",
+    "replica_name",
     "run_chaos",
     "run_scenario",
     "stabilize_manifests",

@@ -35,6 +35,15 @@ It exits degradation only once a valid lease is held *and* the applied
 manifest version has caught up with the newest version the controller
 has announced (epoch fencing), so a stale-epoch manifest never
 outlives its lease.
+
+**Term fencing** (controller HA, ``docs/fault_model.md``): when the
+controller runs replicated (:mod:`repro.control.ha`), every
+controller→agent message carries the sender's election *term* as a
+fencing token.  The agent tracks the highest term it has witnessed,
+follows the highest-term sender as its leader, and answers anything
+older with a ``nack`` — a deposed leader's deltas, lease renewals, and
+repair pushes are all rejected before any blanket handler sees them,
+so a partitioned ex-leader can never split-brain the deployment.
 """
 
 from __future__ import annotations
@@ -54,6 +63,7 @@ from .protocol import (
     KIND_ACK,
     KIND_HEARTBEAT,
     KIND_MANIFEST_UPDATE,
+    KIND_NACK,
     KIND_REPORT,
     KIND_RESYNC_REQUEST,
 )
@@ -62,6 +72,7 @@ from .protocol import (
 HEARTBEAT_BYTES = 64
 ACK_BYTES = 96
 RESYNC_REQUEST_BYTES = 48
+NACK_BYTES = 72
 
 
 def report_bytes(report) -> int:
@@ -96,6 +107,7 @@ class AgentStats:
     reports_sent: int = 0
     lease_expirations: int = 0
     degraded_epochs: int = 0
+    stale_terms_rejected: int = 0
 
 
 class _SessionTally:
@@ -120,6 +132,11 @@ class _SessionTally:
 
 class Agent:
     """One node's coordination-plane endpoint."""
+
+    #: Mutation switch for the seeded fault-injection tests: with term
+    #: fencing disabled a stale-term delta is let through, and the
+    #: chaos ``epoch-regression`` invariant must catch the damage.
+    _term_fencing = True
 
     def __init__(
         self,
@@ -149,6 +166,17 @@ class Agent:
         #: (via lease renewals or pushes) — the epoch fence.
         self.known_version = -1
         self._needs_resync = False
+        #: Highest election term witnessed — the HA fencing token.
+        #: 0 until a term-stamped message arrives (single-controller
+        #: deployments never stamp, so everything below stays inert).
+        self.current_term = 0
+        #: Term that produced the currently applied manifest.
+        self.applied_term = 0
+        #: Term paired with :attr:`known_version` for the epoch fence.
+        self.known_term = 0
+        #: Address control traffic goes to; follows the highest-term
+        #: sender so a failed-over agent reports to the new leader.
+        self.leader = self.config.controller
         if self.config.lease_ttl is not None:
             # Rare-event families, pre-declared so every snapshot
             # carries them (value 0 != absent).
@@ -169,6 +197,11 @@ class Agent:
                 (
                     "agent_degraded_epochs_total",
                     "epochs a node spent in edge-only fallback",
+                ),
+                (
+                    "agent_stale_term_rejections_total",
+                    "controller messages rejected for carrying a stale"
+                    " election term",
                 ),
             ):
                 self.registry.counter(name, help_text, labels=("node",))
@@ -202,13 +235,19 @@ class Agent:
             # Remember how far the pre-crash config had advanced: the
             # fence must not let the stale snapshot masquerade as new.
             self.known_version = max(self.known_version, self.applied_version)
+            self.known_term = max(self.known_term, self.applied_term)
             self.applied_version = -1
+            self.applied_term = 0
             self._needs_resync = True
         else:
             self.applied_version = -1
             self.manifest = NodeManifest(node=self.node)
             self.known_version = -1
             self._needs_resync = False
+            self.current_term = 0
+            self.applied_term = 0
+            self.known_term = 0
+            self.leader = self.config.controller
         if self.config.lease_ttl is not None:
             self.degraded = True
 
@@ -231,7 +270,9 @@ class Agent:
         if not self.alive:
             return
         for message in inbox:
-            if message.src == self.config.controller:
+            if not self._accept_term(message, now):
+                continue
+            if message.src == self.leader:
                 self._renew_lease(message.payload, now)
             if message.kind == KIND_MANIFEST_UPDATE:
                 self._handle_update(message, now)
@@ -244,7 +285,7 @@ class Agent:
             ).inc(node=self.node)
             self.bus.send(
                 self.node,
-                self.config.controller,
+                self.leader,
                 KIND_RESYNC_REQUEST,
                 {"node": self.node, "applied": self.applied_version},
                 RESYNC_REQUEST_BYTES,
@@ -269,7 +310,7 @@ class Agent:
             ).inc(tally.count, node=self.node)
             self.bus.send(
                 self.node,
-                self.config.controller,
+                self.leader,
                 KIND_REPORT,
                 report,
                 report_bytes(report),
@@ -279,12 +320,13 @@ class Agent:
         if now - self._last_heartbeat >= self.config.heartbeat_interval - 1e-9:
             self.bus.send(
                 self.node,
-                self.config.controller,
+                self.leader,
                 KIND_HEARTBEAT,
                 {
                     "node": self.node,
                     "degraded": self.degraded,
                     "applied": self.applied_version,
+                    "applied_term": self.applied_term,
                 },
                 HEARTBEAT_BYTES,
                 now,
@@ -293,6 +335,52 @@ class Agent:
             self._last_heartbeat = now
         if self.retiring is not None and now >= self.retiring[1]:
             self.retiring = None
+
+    # -- HA term fencing ---------------------------------------------------
+    def _accept_term(self, message: Message, now: float) -> bool:
+        """Admit, adopt, or nack a message by its election term.
+
+        Messages without a ``term`` stamp (single-controller
+        deployments, agent-plane traffic) pass untouched.  A newer
+        term is adopted and its sender becomes the leader this agent
+        reports to; a stale term is answered with a ``nack`` carrying
+        the fencing term, so a deposed leader learns it lost even with
+        the replica-plane channel partitioned away.  Rejection happens
+        *before* the blanket lease handler runs — a stale-term message
+        can neither refresh the lease nor deliver a manifest.
+        """
+        payload = message.payload
+        if not isinstance(payload, dict):
+            return True
+        term = payload.get("term")
+        if not isinstance(term, int):
+            return True
+        if term < self.current_term and self._term_fencing:
+            self.stats.stale_terms_rejected += 1
+            self.registry.counter(
+                "agent_stale_term_rejections_total",
+                "controller messages rejected for carrying a stale"
+                " election term",
+                labels=("node",),
+            ).inc(node=self.node)
+            self.bus.send(
+                self.node,
+                message.src,
+                KIND_NACK,
+                {
+                    "node": self.node,
+                    "term": self.current_term,
+                    "stale_term": term,
+                    "applied": self.applied_version,
+                },
+                NACK_BYTES,
+                now,
+            )
+            return False
+        if term > self.current_term:
+            self.current_term = term
+        self.leader = message.src
+        return True
 
     # -- epoch lease / graceful degradation -------------------------------
     def lease_valid(self, now: float) -> bool:
@@ -303,16 +391,31 @@ class Agent:
         return now < self.lease_expires_at
 
     def _renew_lease(self, payload: object, now: float) -> None:
-        """Any controller message refreshes the lease; renewal payloads
-        carry an absolute expiry so every agent in a beat fences at the
-        same instant."""
+        """A term-admitted leader message refreshes the lease; renewal
+        payloads carry an absolute expiry so every agent in a beat
+        fences at the same instant.
+
+        The handler is scoped two ways (it used to be a true blanket):
+        stale-term messages never reach it — :meth:`_accept_term` has
+        already nacked them — and payloads stamped ``lease: False``
+        (term announcements) are inert here, because they prove
+        leadership, not configuration authority, and must not extend
+        the lease of a node the leader has deliberately fenced.
+        """
         if self.config.lease_ttl is None:
+            return
+        if isinstance(payload, dict) and payload.get("lease") is False:
             return
         expires = now + self.config.lease_ttl
         if isinstance(payload, dict):
             expires = payload.get("lease_expires_at", expires)
             version = payload.get("version")
-            if isinstance(version, int) and version > self.known_version:
+            term = payload.get("term", self.known_term)
+            if isinstance(version, int) and (term, version) > (
+                self.known_term,
+                self.known_version,
+            ):
+                self.known_term = term
                 self.known_version = version
         self.lease_expires_at = max(self.lease_expires_at, expires)
 
@@ -333,7 +436,8 @@ class Agent:
             if (
                 in_lease
                 and self.applied_version >= 0
-                and self.applied_version >= self.known_version
+                and (self.applied_term, self.applied_version)
+                >= (self.known_term, self.known_version)
             ):
                 self.degraded = False
         elif self.applied_version < 0 or not in_lease:
@@ -366,12 +470,13 @@ class Agent:
         ).inc(status=status)
         self.bus.send(
             self.node,
-            self.config.controller,
+            self.leader,
             KIND_ACK,
             {
                 "node": self.node,
                 "version": version,
                 "applied": self.applied_version,
+                "term": self.applied_term,
                 "status": status,
             },
             ACK_BYTES,
@@ -381,7 +486,14 @@ class Agent:
     def _handle_update(self, message: Message, now: float) -> None:
         payload: Dict = message.payload  # type: ignore[assignment]
         version = payload["version"]
-        if version <= self.applied_version:
+        # Two leaders in different terms can mint the same version
+        # number with different content, so the duplicate fence is the
+        # lexicographic (term, version) pair, not the bare version.
+        if self._term_fencing:
+            term = payload.get("term", self.applied_term)
+        else:
+            term = self.applied_term
+        if (term, version) <= (self.applied_term, self.applied_version):
             # Reordered or retransmitted push for an epoch at or behind
             # the fence; the manifest stays byte-identical and we re-ack
             # so the controller stops retrying.
@@ -416,7 +528,9 @@ class Agent:
             self.retiring = (self.manifest, now + self.config.transition_window)
         self.manifest = new_manifest
         self.applied_version = version
-        if version > self.known_version:
+        self.applied_term = payload.get("term", self.applied_term)
+        if (self.applied_term, version) > (self.known_term, self.known_version):
+            self.known_term = self.applied_term
             self.known_version = version
         self._needs_resync = False
         self.stats.updates_applied += 1

@@ -18,9 +18,13 @@ that graceful degradation holds the paper's coverage guarantees
 * :class:`InvariantMonitor`, which checks after every epoch that
   (1) no session whose edge-only baseline would cover it goes
   unanalyzed outside a declared transition window, (2) no stale-epoch
-  manifest is served past its lease, and (3) the plane reconverges to
+  manifest is served past its lease, (3) the plane reconverges to
   a coordinated configuration within a bounded number of epochs after
-  the last fault heals;
+  the last fault heals, and — under controller HA
+  (:mod:`repro.control.ha`) — (4) at most one acting leader exists per
+  term at every epoch boundary and no leader ignores higher-term
+  evidence, and (5) no agent's applied ``(term, version)`` pair ever
+  regresses across a takeover;
 * :func:`run_chaos`, the epoch driver scoring a run the way
   :func:`~repro.control.scenarios.run_scenario` does, exposed as
   ``repro control chaos``.
@@ -53,6 +57,7 @@ from .agent import Agent, AgentConfig
 from .bus import Bus, BusConfig, BusStats, Message
 from .controller import Controller, ControllerConfig, ControllerStats
 from .epochs import EpochRecord, coverage_metrics
+from .ha import HACluster, HAConfig, base_identity, replica_name
 from .scenarios import (
     COVERAGE_FLOOR,
     ScenarioConfig,
@@ -82,8 +87,10 @@ class FaultEvent:
       *delay* seconds (beyond channel jitter), overtaking later sends.
     * ``crash`` — *node*'s NIDS process dies at *start* and restarts at
       *end*; ``warm=True`` restarts it holding its pre-crash manifest.
-    * ``controller_down`` — the operations center is down: it takes no
-      epoch beats and messages addressed to it are lost.
+    * ``controller_down`` — a controller process is down: it takes no
+      epoch beats and messages addressed to it (either plane) are
+      lost.  Under HA, *node* names the specific replica held down
+      (``None`` = every replica).
     """
 
     kind: str
@@ -151,10 +158,20 @@ class FaultPlan:
         """When the last fault window closes (0.0 for an empty plan)."""
         return max((event.end for event in self.events), default=0.0)
 
-    def controller_down(self, now: float) -> bool:
-        return any(
-            e.kind == "controller_down" and e.active(now) for e in self.events
-        )
+    def controller_down(self, now: float, name: Optional[str] = None) -> bool:
+        """Whether a controller process is held down at *now*.
+
+        With *name* the check is per replica: an event whose ``node``
+        is ``None`` downs every replica, otherwise only the named one.
+        Without *name* (single-controller callers) any active
+        ``controller_down`` event counts.
+        """
+        for event in self.events:
+            if event.kind != "controller_down" or not event.active(now):
+                continue
+            if event.node is None or name is None or event.node == name:
+                return True
+        return False
 
     def channel_events(self, now: float) -> List[FaultEvent]:
         return [
@@ -203,10 +220,17 @@ class ChaosBus(Bus):
         registry: Optional[MetricsRegistry] = None,
         chaos_seed: int = 0,
         controller: str = "controller",
+        controller_names: Optional[Sequence[str]] = None,
     ):
         super().__init__(config, registry)
         self.plan = plan
         self.controller_name = controller
+        #: Every controller process identity (HA replicas); fault
+        #: matching strips the ``#ha`` plane suffix, so an event naming
+        #: a replica severs both of its planes at once.
+        self.controller_names: Tuple[str, ...] = (
+            tuple(controller_names) if controller_names else (controller,)
+        )
         self._chaos_rng = random.Random(chaos_seed ^ 0x5EED)
         # Pre-declared so a fault-free run still exports the family.
         self._injected = self.registry.counter(
@@ -216,8 +240,10 @@ class ChaosBus(Bus):
         )
 
     def _matches_partition(self, event: FaultEvent, message: Message) -> bool:
-        return (event.src is None or event.src == message.src) and (
-            event.dst is None or event.dst == message.dst
+        src = base_identity(message.src)
+        dst = base_identity(message.dst)
+        return (event.src is None or event.src == src) and (
+            event.dst is None or event.dst == dst
         )
 
     def _admit(self, message: Message, now: float) -> Optional[Message]:
@@ -232,7 +258,10 @@ class ChaosBus(Bus):
             elif kind == "controller_down":
                 # A dead process receives nothing; its own sends are
                 # suppressed by the runner not stepping it.
-                if message.dst == self.controller_name:
+                identity = base_identity(message.dst)
+                if identity in self.controller_names and (
+                    event.node is None or event.node == identity
+                ):
                     self._injected.inc(fault="controller_down")
                     self._drop_admitted(message)
                     return None
@@ -321,11 +350,74 @@ def _lossy_burst(epochs: int, nodes: Sequence[str], rng: random.Random
     )
 
 
+def _leader_crash_mid_push(epochs: int, nodes: Sequence[str], rng: random.Random
+                           ) -> Tuple[FaultEvent, ...]:
+    """HA acceptance plan 1: the acting leader dies *between* its push
+    beat and its ack beat — agents hold an applied-but-unacknowledged
+    configuration the standbys only know through the epoch log.  A
+    standby must promote, rebuild from log + heartbeat claims, and
+    resume coordinated service without ever regressing an epoch."""
+    return (
+        FaultEvent(
+            kind="controller_down",
+            start=0.4,
+            end=min(float(epochs) - 6.0, 12.0),
+            node=replica_name(0),
+        ),
+    )
+
+
+def _leader_partition(epochs: int, nodes: Sequence[str], rng: random.Random
+                      ) -> Tuple[FaultEvent, ...]:
+    """HA acceptance plan 2: the acting leader is partitioned away with
+    a quarter of the agents still on its side — it keeps serving them
+    at its old term while a standby promotes for the majority side.
+    Dual leadership in *distinct* terms is legal during the partition;
+    after it heals the old leader must depose on first higher-term
+    evidence (announce or agent nack) and no agent's applied
+    ``(term, version)`` may regress."""
+    ordered = sorted(nodes)
+    old_side = sorted(rng.sample(ordered, max(1, len(ordered) // 4)))
+    far_side = [n for n in ordered if n not in set(old_side)]
+    leader = replica_name(0)
+    standbys = (replica_name(1), replica_name(2))
+    start = 4.0
+    end = min(float(epochs) - 6.0, 10.0)
+    events: List[FaultEvent] = []
+    for peer in standbys:
+        events.append(FaultEvent(kind="partition", start=start, end=end,
+                                 src=leader, dst=peer))
+        events.append(FaultEvent(kind="partition", start=start, end=end,
+                                 src=peer, dst=leader))
+    for node in far_side:
+        events.append(FaultEvent(kind="partition", start=start, end=end,
+                                 src=leader, dst=node))
+        events.append(FaultEvent(kind="partition", start=start, end=end,
+                                 src=node, dst=leader))
+    for node in old_side:
+        for peer in standbys:
+            events.append(FaultEvent(kind="partition", start=start, end=end,
+                                     src=peer, dst=node))
+            events.append(FaultEvent(kind="partition", start=start, end=end,
+                                     src=node, dst=peer))
+    return tuple(events)
+
+
 NAMED_PLANS = {
     "controller-outage": _controller_outage,
     "asym-partition": _asym_partition,
     "agent-restart-stale": _agent_restart_stale,
     "lossy-burst": _lossy_burst,
+    "leader-crash-mid-push": _leader_crash_mid_push,
+    "leader-partition": _leader_partition,
+}
+
+#: Minimum replica count a named plan needs; the runner raises the
+#: configured count to this floor so the HA acceptance plans run
+#: unchanged under ``repro control chaos`` and ``repro sweep``.
+HA_PLAN_REPLICAS = {
+    "leader-crash-mid-push": 3,
+    "leader-partition": 3,
 }
 
 
@@ -424,7 +516,9 @@ class InvariantViolation:
     """One broken runtime guarantee, attributed to an epoch."""
 
     epoch: int
-    rule: str  # "coverage-floor" | "stale-lease" | "reconvergence"
+    #: "coverage-floor" | "stale-lease" | "reconvergence"
+    #: | "leader-uniqueness" | "epoch-regression"
+    rule: str
     detail: str
 
     def __str__(self) -> str:
@@ -455,6 +549,14 @@ class ChaosEpochRecord:
     baseline_pairs: int = 0
     #: Of those, pairs no live agent actually analyzed.
     uncovered_pairs: int = 0
+    #: Acting leader at epoch end (``None`` without one; single-replica
+    #: runs report the lone controller whenever it is up).
+    leader: Optional[str] = None
+    #: Acting leader's fencing term (0 in single-replica runs).
+    term: int = 0
+    #: True when the replica set agrees on exactly one caught-up
+    #: leader; single-replica runs are trivially settled.
+    ha_settled: bool = True
 
     def to_dict(self) -> dict:
         """JSON-compatible dict (nested record serialized too)."""
@@ -465,6 +567,9 @@ class ChaosEpochRecord:
             "excluded": self.excluded,
             "baseline_pairs": self.baseline_pairs,
             "uncovered_pairs": self.uncovered_pairs,
+            "leader": self.leader,
+            "term": self.term,
+            "ha_settled": self.ha_settled,
         }
 
     @classmethod
@@ -487,7 +592,13 @@ class InvariantMonitor:
       past its lease: lease expired ⇒ the agent is degraded.
     * **reconvergence** — within ``reconverge_epochs`` of the plan's
       heal time there is an epoch with no degradation, no fencing, no
-      unsynced live node, and coverage at the scenario floor.
+      unsynced live node, and coverage at the scenario floor (and,
+      under HA, a settled replica set).
+    * **leader-uniqueness** — at most one acting leader per epoch
+      *term*: two alive replicas never serve in the same term, and no
+      replica keeps serving after observing a higher term.
+    * **epoch-regression** — a live agent's applied ``(term, version)``
+      never moves lexicographically backwards across a takeover.
     """
 
     def __init__(
@@ -497,6 +608,9 @@ class InvariantMonitor:
     ):
         self.modules = list(modules)
         self.violations: List[InvariantViolation] = []
+        #: Per-agent high-water applied (term, version); cleared on
+        #: restart (a cold restart legitimately forgets its manifest).
+        self._applied_floor: Dict[str, Tuple[int, int]] = {}
         self._counter = registry.counter(
             "chaos_invariant_violations_total",
             "runtime invariant violations observed by the chaos monitor",
@@ -574,6 +688,72 @@ class InvariantMonitor:
                     f" (now {now:.2f})",
                 )
 
+    def leader_uniqueness(self, epoch: int, cluster: HACluster) -> None:
+        """At most one acting leader per *term*, and no replica keeps
+        serving after observing a higher term.
+
+        Dual leadership in distinct terms is legal mid-partition (the
+        deposed side simply has not heard the news yet) — split brain
+        is two leaders in the *same* term, or a leader that saw
+        higher-term evidence and kept serving anyway.
+        """
+        serving = [
+            replica
+            for replica in cluster.replicas
+            if replica.alive and replica.role == "leader"
+        ]
+        by_term: Dict[int, List[str]] = defaultdict(list)
+        for replica in serving:
+            by_term[replica.term].append(replica.name)
+        for term in sorted(by_term):
+            names = by_term[term]
+            if len(names) > 1:
+                self._violate(
+                    epoch,
+                    "leader-uniqueness",
+                    f"replicas {sorted(names)} both act as leader in"
+                    f" term {term}",
+                )
+        for replica in serving:
+            if replica.observed_term > replica.term:
+                self._violate(
+                    epoch,
+                    "leader-uniqueness",
+                    f"{replica.name} keeps serving term {replica.term}"
+                    f" after observing term {replica.observed_term}",
+                )
+
+    def note_restart(self, node: str) -> None:
+        """Forget an agent's applied floor across a restart — a cold
+        restart legitimately returns at version -1."""
+        self._applied_floor.pop(node, None)
+
+    def epoch_regression(self, epoch: int, agents: Dict[str, Agent]) -> None:
+        """No live agent's applied ``(term, version)`` moves backwards.
+
+        A stale-term delta slipping past the fence shows up here: the
+        deposed leader's push carries an older term (or rewinds the
+        version), dragging the agent's applied pair below its
+        high-water mark.
+        """
+        for node in sorted(agents):
+            agent = agents[node]
+            if not agent.alive:
+                continue
+            if agent.applied_version < 0:
+                self._applied_floor.pop(node, None)
+                continue
+            pair = (agent.applied_term, agent.applied_version)
+            floor = self._applied_floor.get(node)
+            if floor is not None and pair < floor:
+                self._violate(
+                    epoch,
+                    "epoch-regression",
+                    f"{node} applied (term, version) regressed from"
+                    f" {floor} to {pair}",
+                )
+            self._applied_floor[node] = max(pair, floor or pair)
+
     # -- end-of-run check -------------------------------------------------
     def reconvergence(
         self,
@@ -592,6 +772,7 @@ class InvariantMonitor:
                 and not chaos_record.degraded_nodes
                 and not record.fenced_nodes
                 and not chaos_record.controller_down
+                and chaos_record.ha_settled
                 and record.coverage >= COVERAGE_FLOOR
             ):
                 if record.epoch > deadline:
@@ -641,10 +822,15 @@ class ChaosConfig:
     reconverge_epochs: int = 4
     #: Redundancy level r the controller plans at.
     coverage: float = 1.0
+    #: Controller replica count; the HA acceptance plans raise this to
+    #: their own floor (``HA_PLAN_REPLICAS``) so they run unchanged.
+    replicas: int = 1
 
     def __post_init__(self) -> None:
         if self.lease_ttl <= 0:
             raise ValueError("chaos runs require a positive lease_ttl")
+        if self.replicas < 1:
+            raise ValueError("chaos runs need at least one controller replica")
         if self.epochs < self.plan.heal_time + 2:
             raise ValueError(
                 f"plan {self.plan.name!r} heals at"
@@ -680,6 +866,9 @@ class ChaosResult:
     reconverged_epoch: Optional[int] = None
     bus_stats: Optional[BusStats] = None
     controller_stats: Optional[ControllerStats] = None
+    #: :meth:`HACluster.summary` snapshot (``None`` in single-replica
+    #: runs).
+    ha_summary: Optional[dict] = None
 
     def check_acceptance(self) -> List[str]:
         """Human-readable invariant violations (empty = pass)."""
@@ -707,6 +896,7 @@ class ChaosResult:
                 if self.controller_stats
                 else None
             ),
+            "ha_summary": self.ha_summary,
         }
 
     @classmethod
@@ -734,6 +924,7 @@ class ChaosResult:
                 if data.get("controller_stats")
                 else None
             ),
+            ha_summary=data.get("ha_summary"),
         )
 
 
@@ -775,10 +966,14 @@ def run_chaos(
 
 def _run_chaos(config: ChaosConfig, registry: MetricsRegistry) -> ChaosResult:
     topology = by_label(config.topology).set_uniform_capacities(cpu=1.0, mem=1.0)
-    known = set(topology.node_names)
+    replica_count = max(
+        config.replicas, HA_PLAN_REPLICAS.get(config.plan.name, 1)
+    )
+    replica_names = tuple(replica_name(i) for i in range(replica_count))
+    known = set(topology.node_names) | set(replica_names)
     for event in config.plan.events:
-        for name in (event.node, event.dst if event.dst else None):
-            if name is not None and name != "controller" and name not in known:
+        for name in (event.node, event.src, event.dst):
+            if name is not None and name not in known:
                 raise ValueError(
                     f"plan references unknown node {name!r};"
                     f" {config.topology} nodes are {sorted(known)}"
@@ -796,21 +991,36 @@ def _run_chaos(config: ChaosConfig, registry: MetricsRegistry) -> ChaosResult:
         ),
         registry=registry,
         chaos_seed=config.seed,
+        controller_names=replica_names,
     )
-    controller = Controller(
-        topology,
-        paths,
-        modules,
-        bus,
-        ControllerConfig(
-            heartbeat_timeout=config.heartbeat_timeout,
-            resolve_every=config.resolve_every,
-            lease_ttl=config.lease_ttl,
-            coverage=config.coverage,
-            retry_seed=config.seed,
-        ),
-        registry=registry,
+    controller_config = ControllerConfig(
+        heartbeat_timeout=config.heartbeat_timeout,
+        resolve_every=config.resolve_every,
+        lease_ttl=config.lease_ttl,
+        coverage=config.coverage,
+        retry_seed=config.seed,
     )
+    cluster: Optional[HACluster] = None
+    if replica_count > 1:
+        cluster = HACluster(
+            topology,
+            paths,
+            modules,
+            bus,
+            controller_config,
+            HAConfig(replicas=replica_count, leader_lease=config.lease_ttl),
+            registry=registry,
+        )
+        controller = cluster.authority
+    else:
+        controller = Controller(
+            topology,
+            paths,
+            modules,
+            bus,
+            controller_config,
+            registry=registry,
+        )
     agent_config = AgentConfig(
         transition_window=config.transition_window,
         lease_ttl=config.lease_ttl,
@@ -855,31 +1065,60 @@ def _run_chaos(config: ChaosConfig, registry: MetricsRegistry) -> ChaosResult:
             agents[event.node].crash()
         for event in restarts_by_epoch.get(epoch, []):
             agents[event.node].recover(warm=event.warm)
+            monitor.note_restart(event.node)
 
         sessions = pools[config.profile][: volumes[epoch]]
         by_ingress: Dict[str, List[Session]] = defaultdict(list)
         for session in sessions:
             by_ingress[session.ingress].append(session)
 
-        controller_up = not (
-            config.plan.controller_down(t + 0.25)
-            or config.plan.controller_down(t + 0.75)
-        )
-
         for node, agent in agents.items():
             agent.step(t, sessions=by_ingress.get(node, []))
-        if controller_up:
-            controller.step(t + 0.25)
-        for agent in agents.values():
-            agent.step(t + 0.5)
-        if controller_up:
-            record = controller.finish_epoch(t + 0.75)
+        if cluster is not None:
+            # Per-beat outage sets: a leader really can die *between*
+            # its push beat and its finish beat.
+            down_step = frozenset(
+                name for name in replica_names
+                if config.plan.controller_down(t + 0.25, name)
+            )
+            cluster.step(t + 0.25, down_step)
+            for agent in agents.values():
+                agent.step(t + 0.5)
+            down_finish = frozenset(
+                name for name in replica_names
+                if config.plan.controller_down(t + 0.75, name)
+            )
+            record = cluster.finish_epoch(t + 0.75, down_finish)
+            acting = cluster.acting_leader()
+            controller = cluster.authority
+            controller_up = (
+                acting is not None
+                and not acting.rebuilding
+                and record is not None
+            )
+            if record is None:
+                record = EpochRecord(epoch=epoch, time=t)
+                record.failed_nodes = tuple(sorted(controller.monitor.failed))
+                record.fenced_nodes = tuple(sorted(controller.fenced))
+                record.config_version = controller.version
+                record.converged = not controller.unsynced_live_nodes()
         else:
-            record = EpochRecord(epoch=epoch, time=t)
-            record.failed_nodes = tuple(sorted(controller.monitor.failed))
-            record.fenced_nodes = tuple(sorted(controller.fenced))
-            record.config_version = controller.version
-            record.converged = not controller.unsynced_live_nodes()
+            controller_up = not (
+                config.plan.controller_down(t + 0.25)
+                or config.plan.controller_down(t + 0.75)
+            )
+            if controller_up:
+                controller.step(t + 0.25)
+            for agent in agents.values():
+                agent.step(t + 0.5)
+            if controller_up:
+                record = controller.finish_epoch(t + 0.75)
+            else:
+                record = EpochRecord(epoch=epoch, time=t)
+                record.failed_nodes = tuple(sorted(controller.monitor.failed))
+                record.fenced_nodes = tuple(sorted(controller.fenced))
+                record.config_version = controller.version
+                record.converged = not controller.unsynced_live_nodes()
         record.sessions = len(sessions)
 
         # Ground-truth coverage over what agents actually *serve*:
@@ -928,7 +1167,7 @@ def _run_chaos(config: ChaosConfig, registry: MetricsRegistry) -> ChaosResult:
         mixed_versions = (
             len(
                 {
-                    agent.applied_version
+                    (agent.applied_term, agent.applied_version)
                     for agent in agents.values()
                     if agent.alive and not agent.degraded
                 }
@@ -938,12 +1177,17 @@ def _run_chaos(config: ChaosConfig, registry: MetricsRegistry) -> ChaosResult:
         stale_leased = (not controller_up) and any(
             agent.alive and not agent.degraded for agent in agents.values()
         )
+        # A freshly promoted leader serves the configuration it rebuilt
+        # from the epoch log — by construction pre-takeover — until its
+        # first re-plan lands; that staleness is handoff transition.
+        handoff_pending = cluster is not None and cluster.handoff_stale(epoch)
         excluded = (
             (not record.converged)
             or failure_unrepaired
             or fence_pending
             or mixed_versions
             or stale_leased
+            or handoff_pending
         )
         record.in_transition = excluded
 
@@ -951,6 +1195,17 @@ def _run_chaos(config: ChaosConfig, registry: MetricsRegistry) -> ChaosResult:
             epoch, sessions, agents, excluded
         )
         monitor.stale_leases(epoch, t + 0.5, agents)
+        monitor.epoch_regression(epoch, agents)
+        if cluster is not None:
+            monitor.leader_uniqueness(epoch, cluster)
+            acting = cluster.acting_leader()
+            leader = acting.name if acting is not None else None
+            term = acting.term if acting is not None else 0
+            ha_settled = cluster.settled()
+        else:
+            leader = controller.config.name if controller_up else None
+            term = 0
+            ha_settled = True
 
         chaos_record = ChaosEpochRecord(
             record=record,
@@ -959,6 +1214,9 @@ def _run_chaos(config: ChaosConfig, registry: MetricsRegistry) -> ChaosResult:
             excluded=excluded,
             baseline_pairs=baseline,
             uncovered_pairs=uncovered,
+            leader=leader,
+            term=term,
+            ha_settled=ha_settled,
         )
         result.records.append(chaos_record)
 
@@ -969,6 +1227,7 @@ def _run_chaos(config: ChaosConfig, registry: MetricsRegistry) -> ChaosResult:
             and not degraded
             and not record.fenced_nodes
             and controller_up
+            and ha_settled
             and record.coverage >= COVERAGE_FLOOR
         ):
             result.reconverged_epoch = epoch
@@ -978,4 +1237,5 @@ def _run_chaos(config: ChaosConfig, registry: MetricsRegistry) -> ChaosResult:
 
     result.bus_stats = bus.stats
     result.controller_stats = controller.stats
+    result.ha_summary = cluster.summary() if cluster is not None else None
     return result

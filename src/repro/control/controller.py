@@ -37,7 +37,7 @@ import dataclasses
 import json
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..analysis.verify import (
     VerificationReport,
@@ -63,6 +63,7 @@ from .protocol import (
     KIND_HEARTBEAT,
     KIND_LEASE_RENEW,
     KIND_MANIFEST_UPDATE,
+    KIND_NACK,
     KIND_REPORT,
     KIND_RESYNC_REQUEST,
 )
@@ -210,6 +211,18 @@ class Controller:
         #: Latest NetFlow report per reporting node (stale entries are
         #: deliberately kept: a dead NIDS does not stop the traffic).
         self.reports: Dict[str, TrafficReport] = {}
+        #: HA election term stamped into every outbound message as a
+        #: fencing token; 0 in single-controller deployments.  The
+        #: :class:`~repro.control.ha.ControllerReplica` wrapper keeps
+        #: it in sync with its own term.
+        self.term = 0
+        #: Highest term seen in agent ``nack``s — evidence a newer
+        #: leader exists, which deposes this one under HA.
+        self.observed_term = 0
+        #: Per-node (applied_term, applied_version) claim from the last
+        #: heartbeat; a rebuilding leader uses it to decide which delta
+        #: bases it may trust across a takeover.
+        self.reported_applied: Dict[str, Tuple[int, int]] = {}
         self.version = -1
         self.deployment: Optional[NIDSDeployment] = None
         self.manifests: Dict[str, NodeManifest] = {}
@@ -280,6 +293,10 @@ class Controller:
         for message in self.bus.deliver(self.config.name, now):
             if message.kind == KIND_HEARTBEAT:
                 node = message.payload["node"]
+                self.reported_applied[node] = (
+                    message.payload.get("applied_term", 0),
+                    message.payload.get("applied", -1),
+                )
                 if self.monitor.beat(node, now):
                     self._recovered.add(node)
                     self.needs_full.add(node)
@@ -306,6 +323,13 @@ class Controller:
                 self.acked_version[node] = -1
                 self.outstanding.pop(node, None)
                 self._pushed_history.pop(node, None)
+            elif message.kind == KIND_NACK:
+                # An agent fenced us for carrying a stale term: a newer
+                # leader exists.  Record the evidence; the HA wrapper
+                # deposes this replica on its next beat.
+                self.observed_term = max(
+                    self.observed_term, message.payload.get("term", 0)
+                )
 
     def _track_degradation(self, node: str, degraded: bool) -> None:
         """Fence/unfence a live node from its self-reported lease state.
@@ -657,7 +681,10 @@ class Controller:
         """(Re)send manifests to every live agent not yet holding the
         current configuration.  Pushes are idempotent and versioned, so
         resending after loss is always safe."""
-        if self.version < 0:
+        if self.version < 0 or not self.manifests:
+            # A freshly promoted leader can know the cluster reached
+            # some version without holding its content (epoch-log gap):
+            # refusing to push beats pushing a fabricated manifest.
             return
         for node in self.topology.node_names:
             if not self.monitor.alive(node):
@@ -791,11 +818,12 @@ class Controller:
             self.stats.full_equivalent_bytes += state.full_bytes
         state.last_sent = now
         state.next_retry_at = now + self._retry_delay(state.attempts + 1)
-        payload = state.payload
+        # Stamp the fencing term (and, with leases, a fresh expiry) on
+        # a copy: in-flight messages hold a reference to the payload,
+        # so the wire copy must be frozen.
+        payload = dict(state.payload)
+        payload["term"] = self.term
         if self.config.lease_ttl is not None:
-            # Stamp a fresh lease on a copy (in-flight messages hold a
-            # reference to the payload; the wire copy must be frozen).
-            payload = dict(payload)
             payload["lease_expires_at"] = now + self.config.lease_ttl
         self.bus.send(
             self.config.name,
@@ -821,7 +849,11 @@ class Controller:
                 self.config.name,
                 node,
                 KIND_LEASE_RENEW,
-                {"version": self.version, "lease_expires_at": expires},
+                {
+                    "version": self.version,
+                    "term": self.term,
+                    "lease_expires_at": expires,
+                },
                 LEASE_BYTES,
                 now,
             )
@@ -915,8 +947,12 @@ class Controller:
             if not self.monitor.alive(node):
                 continue
             acked = self.acked_manifests.get(node)
-            target = self.manifests[node]
-            if acked is None or acked.entries != target.entries or (
+            target = self.manifests.get(node)
+            if target is None:
+                # Version known but content not yet recovered (handoff
+                # log gap): the node cannot be proven in sync.
+                lagging.append(node)
+            elif acked is None or acked.entries != target.entries or (
                 acked.full != target.full
             ):
                 lagging.append(node)

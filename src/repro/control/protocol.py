@@ -13,8 +13,15 @@ when either side disagrees with this table.
 ``implicit=True`` marks kinds consumed by a blanket handler rather
 than a dispatch arm: ``lease-renew`` carries no payload an agent acts
 on beyond the lease stamp, which :meth:`Agent._renew_lease` extracts
-from *every* controller message (see ``docs/fault_model.md``), so no
-``kind ==`` comparison exists for it by design.
+from every non-stale controller message (see ``docs/fault_model.md``),
+so no ``kind ==`` comparison exists for it by design.
+
+The controller-HA kinds (:mod:`repro.control.ha`) extend the plane
+with a replica coordination channel: a leader heartbeats its term with
+``term-announce``, a standby takes over with ``promote``, the epoch
+log replicates via ``state-handoff``, and an agent answers any message
+carrying a stale fencing term with ``nack`` (see the failover section
+of ``docs/fault_model.md``).
 """
 
 from __future__ import annotations
@@ -27,8 +34,12 @@ __all__ = [
     "KIND_HEARTBEAT",
     "KIND_LEASE_RENEW",
     "KIND_MANIFEST_UPDATE",
+    "KIND_NACK",
+    "KIND_PROMOTE",
     "KIND_REPORT",
     "KIND_RESYNC_REQUEST",
+    "KIND_STATE_HANDOFF",
+    "KIND_TERM_ANNOUNCE",
     "MessageSpec",
     "PROTOCOL",
     "PROTOCOL_KINDS",
@@ -39,10 +50,17 @@ KIND_HEARTBEAT = "heartbeat"
 KIND_REPORT = "report"
 KIND_ACK = "ack"
 KIND_RESYNC_REQUEST = "resync-request"
+KIND_NACK = "nack"
 
 # Controller -> agent.
 KIND_MANIFEST_UPDATE = "manifest-update"
 KIND_LEASE_RENEW = "lease-renew"
+
+# Controller replica -> replica (and leader -> agent for
+# term-announce): the HA failover channel.
+KIND_TERM_ANNOUNCE = "term-announce"
+KIND_PROMOTE = "promote"
+KIND_STATE_HANDOFF = "state-handoff"
 
 
 @dataclass(frozen=True)
@@ -64,10 +82,14 @@ PROTOCOL: Tuple[MessageSpec, ...] = (
     MessageSpec(kind=KIND_REPORT, sender="agent", receiver="controller"),
     MessageSpec(kind=KIND_ACK, sender="agent", receiver="controller"),
     MessageSpec(kind=KIND_RESYNC_REQUEST, sender="agent", receiver="controller"),
+    MessageSpec(kind=KIND_NACK, sender="agent", receiver="controller"),
     MessageSpec(kind=KIND_MANIFEST_UPDATE, sender="controller", receiver="agent"),
     MessageSpec(
         kind=KIND_LEASE_RENEW, sender="controller", receiver="agent", implicit=True
     ),
+    MessageSpec(kind=KIND_TERM_ANNOUNCE, sender="controller", receiver="replica|agent"),
+    MessageSpec(kind=KIND_PROMOTE, sender="controller", receiver="replica"),
+    MessageSpec(kind=KIND_STATE_HANDOFF, sender="controller", receiver="replica"),
 )
 
 #: Frozen view for membership checks.

@@ -278,4 +278,8 @@ def by_label(label: str) -> Topology:
         return geant()
     if normalized.startswith("as"):
         return rocketfuel(int(normalized[2:]))
+    if normalized.startswith("pop"):
+        # Sized synthetic backbones ("pop50", "pop200") for scaling
+        # studies that need agent counts no real dataset provides.
+        return random_pop_topology(int(normalized[3:]), name=normalized)
     raise ValueError(f"unknown topology label {label!r}")

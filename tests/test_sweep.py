@@ -207,7 +207,11 @@ class TestArtifactCache:
         cache = ArtifactCache(str(tmp_path))
         cell = SweepCell()
         cache.put(cell, {"ok": True})
-        monkeypatch.setattr(sweep_cache, "CACHE_FORMAT_VERSION", 2)
+        monkeypatch.setattr(
+            sweep_cache,
+            "CACHE_FORMAT_VERSION",
+            sweep_cache.CACHE_FORMAT_VERSION + 1,
+        )
         assert cache.get(cell) is None
 
     def test_partition_splits_by_cache_state(self, tmp_path):
